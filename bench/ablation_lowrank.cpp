@@ -1,0 +1,99 @@
+// Ablation (paper §2.2 / Fig. 2, made quantitative): WHY the paper excludes
+// low-rank compression for activations.
+//
+// At a fixed wire budget (the A2 autoencoder's), compare reconstruction
+// error of the PowerSGD-style low-rank factorizer on (a) a gradient-like
+// low-rank matrix and (b) a real trained-model activation, against the
+// Table-1 compressors at the same-or-smaller budget.
+#include <cstdio>
+
+#include "autograd/functions.h"
+#include "bench/lab.h"
+#include "compress/lowrank.h"
+#include "compress/settings.h"
+#include "data/dataset.h"
+#include "tensor/ops.h"
+#include "train/optimizer.h"
+
+int main() {
+  using namespace actcomp;
+  namespace ts = tensor;
+  namespace ag = autograd;
+
+  // A real activation + gradient pair from a briefly-trained model (as in
+  // fig2_lowrank).
+  const int64_t seq = 24;
+  ts::Generator gen(5);
+  const nn::BertConfig cfg = bench::bench_model_config(seq);
+  nn::BertModel model(cfg, gen);
+  data::TaskDataset ds =
+      data::make_task_dataset(data::TaskId::kMnliM, bench::scaled(512), seq, gen);
+  nn::ClassificationHead head(cfg.hidden, 3, gen);
+  train::Adam opt(model.parameters(), 5e-4f);
+  opt.add_parameters(head.parameters());
+  ts::Generator tg(6);
+  for (const auto& b : ds.epoch_batches(16, &tg)) {
+    opt.zero_grad();
+    ag::Variable out = model.forward(b.input, tg, true);
+    ag::softmax_cross_entropy(head.forward(out), b.class_labels).backward();
+    opt.step();
+  }
+  const auto batch = ds.batch(0, 32);
+  opt.zero_grad();
+  ag::Variable out = model.forward(batch.input, tg, true);
+  ag::softmax_cross_entropy(head.forward(out), batch.class_labels).backward();
+  const ts::Tensor activation = out.value().reshape(
+      ts::Shape{batch.input.batch * seq, cfg.hidden});
+  ts::Tensor gradient;
+  for (const auto& [name, p] : model.named_parameters()) {
+    if (name == "layer3.attn.wo.weight") gradient = p.grad().clone();
+  }
+
+  ts::Generator cgen(11);
+  auto a2 = compress::make_compressor(compress::Setting::kA2, cfg.hidden, cgen);
+  const int64_t budget_act = a2->wire_size(activation.shape()).total_bytes();
+  const int64_t r_act =
+      compress::LowRankCompressor::rank_for_budget(activation.shape(), budget_act);
+  // Same-rank comparison at 20% of the feature dimension: Fig. 2 says the
+  // gradient holds ~95% of its singular mass there, the activation ~60%.
+  const int64_t r_same = std::max<int64_t>(2, cfg.hidden / 5);
+
+  std::printf(
+      "Ablation — low-rank compression on activations vs gradients\n"
+      "(activation %s at the A2 budget of %lld B -> rank %lld;\n"
+      " same-rank comparison at r = %lld = 20%% of dims)\n\n",
+      activation.shape().str().c_str(), static_cast<long long>(budget_act),
+      static_cast<long long>(r_act), static_cast<long long>(r_same));
+
+  std::vector<std::string> header{"compressor", "target", "rel. error"};
+  std::vector<std::vector<std::string>> body;
+  {
+    compress::LowRankCompressor lr(r_same, 3, 2);
+    body.push_back({"low-rank r=20%", "gradient",
+                    bench::fmt(ts::rel_error(lr.round_trip(gradient), gradient), 4)});
+    body.push_back({"low-rank r=20%", "activation",
+                    bench::fmt(ts::rel_error(lr.round_trip(activation), activation), 4)});
+  }
+  {
+    compress::LowRankCompressor lr(r_act, 3, 2);
+    body.push_back({"low-rank @A2 budget", "activation",
+                    bench::fmt(ts::rel_error(lr.round_trip(activation), activation), 4)});
+  }
+  for (auto s : {compress::Setting::kA2, compress::Setting::kT4,
+                 compress::Setting::kQ2}) {
+    auto c = compress::make_compressor(s, cfg.hidden, cgen);
+    body.push_back(
+        {compress::setting_label(s), "activation",
+         bench::fmt(ts::rel_error(c->round_trip(activation), activation), 4)});
+  }
+  bench::print_table(header, body, 22);
+  std::printf(
+      "\nTakeaway (paper §2.2 / Fig. 2): at the same rank the factorizer\n"
+      "reconstructs the gradient far better than the activation, and at an\n"
+      "activation-compression budget its error stays large — which is why\n"
+      "PowerSGD-style methods do not transfer from gradient to activation\n"
+      "compression. (The untrained A2 codec is also poor here; unlike a\n"
+      "low-rank projection it becomes competitive after joint training —\n"
+      "see table5 panel B.)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation (DESIGN.md §5.1): how much of Top-K's communication cost is the
+// wire format? The paper's implementation sends (fp16 value, int32 index)
+// pairs — 6 bytes per kept element, which is why the "same compression
+// ratio" settings T3/T4 transmit 3x more than the AE they are calibrated
+// against. We sweep alternative index encodings at the simulator level and
+// report the Table 2 TP=4/PP=1 cell under each.
+//
+//   int32 index (paper) : 6 B per kept element
+//   int16 block-local   : 4 B  (indices relative to 64Ki-element blocks)
+//   bitmap              : numel/8 B + 2 B per kept element
+#include <cstdio>
+
+#include "bench/simbench.h"
+#include "sim/collectives.h"
+
+namespace {
+
+using namespace actcomp;
+
+/// Iteration time with Top-K's per-element metadata cost overridden. We
+/// model alternative formats by scaling the all-gather bytes; encode/decode
+/// costs are unchanged (format packing is bandwidth-trivial next to the
+/// top-k scan itself).
+double t3_cell_with_bytes_per_kept(double bytes_per_kept, int64_t extra_fixed) {
+  const auto cluster = sim::ClusterSpec::local_pcie();
+  parallel::ModelParallelSimulator simulator(
+      cluster, nn::BertConfig::bert_large(), {4, 1}, {32, 1, 512});
+  // Reconstruct the T3 total by hand: run baseline and A-style deltas via
+  // the public simulator, then adjust the comm term analytically.
+  const auto plan = core::CompressionPlan::paper_default(compress::Setting::kT3, 24);
+  const auto r = simulator.run(plan);
+  // Wire bytes actually used by the simulator (6 B per kept element):
+  const int64_t numel = 32LL * 512 * 1024;
+  const int64_t k = sim::OverheadModel::kept_elements(compress::Setting::kT3, numel);
+  const double old_bytes = 6.0 * static_cast<double>(k);
+  const double new_bytes =
+      bytes_per_kept * static_cast<double>(k) + static_cast<double>(extra_fixed);
+  // 24 compressed all-gathers per iteration over the PCIe link at TP=4.
+  const double per_gather_delta =
+      sim::allgather_ms(static_cast<int64_t>(new_bytes), 4, cluster.intra_node) -
+      sim::allgather_ms(static_cast<int64_t>(old_bytes), 4, cluster.intra_node);
+  return r.total_ms() + 24.0 * per_gather_delta;
+}
+
+}  // namespace
+
+int main() {
+  using namespace actcomp;
+  std::printf(
+      "Ablation — Top-K wire formats (T3, fine-tune, PCIe, TP=4/PP=1)\n\n");
+  const int64_t numel = 32LL * 512 * 1024;
+  std::vector<std::string> header{"Format", "bytes/kept", "iter ms"};
+  std::vector<std::vector<std::string>> body;
+  body.push_back({"fp16 + int32 (paper)", "6",
+                  bench::fmt(t3_cell_with_bytes_per_kept(6.0, 0))});
+  body.push_back({"fp16 + int16 block-local", "4",
+                  bench::fmt(t3_cell_with_bytes_per_kept(4.0, 0))});
+  body.push_back({"fp16 + bitmap", "2 + n/8k",
+                  bench::fmt(t3_cell_with_bytes_per_kept(2.0, numel / 8))});
+  const auto cluster = sim::ClusterSpec::local_pcie();
+  parallel::ModelParallelSimulator simulator(
+      cluster, nn::BertConfig::bert_large(), {4, 1}, {32, 1, 512});
+  body.push_back({"w/o (baseline)", "-",
+                  bench::fmt(simulator.run_baseline().total_ms())});
+  body.push_back(
+      {"A1 (reference)", "-",
+       bench::fmt(simulator
+                      .run(core::CompressionPlan::paper_default(
+                          compress::Setting::kA1, 24))
+                      .total_ms())});
+  bench::print_table(header, body, 26);
+  std::printf(
+      "\nTakeaway: tighter index encodings shave the sparse formats' comm\n"
+      "cost but cannot fix Top-K's encoding overhead, and none matches AE —\n"
+      "the format is a second-order effect next to the algorithm choice.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the real compression kernels:
+// encode / decode / round-trip throughput of every algorithm on
+// activation-shaped tensors. These are the CPU-library analogues of the
+// paper's Table 4 Enc/Dec columns and are useful when adopting the
+// compression library outside the simulator.
+#include <benchmark/benchmark.h>
+
+#include "compress/autoencoder.h"
+#include "compress/identity.h"
+#include "compress/quantize.h"
+#include "compress/randomk.h"
+#include "compress/settings.h"
+#include "compress/topk.h"
+#include "tensor/random.h"
+
+namespace {
+
+using namespace actcomp;
+
+tensor::Tensor activation(int64_t rows, int64_t hidden) {
+  tensor::Generator gen(7);
+  return gen.normal(tensor::Shape{rows, hidden}, 0.0f, 2.0f);
+}
+
+void run_encode(benchmark::State& state, compress::Compressor& c,
+                const tensor::Tensor& x) {
+  for (auto _ : state) {
+    auto msg = c.encode(x);
+    benchmark::DoNotOptimize(msg.body.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * x.numel() * 4);
+}
+
+void run_round_trip(benchmark::State& state, compress::Compressor& c,
+                    const tensor::Tensor& x) {
+  for (auto _ : state) {
+    auto y = c.round_trip(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * x.numel() * 4);
+}
+
+void BM_IdentityEncode(benchmark::State& state) {
+  compress::IdentityCompressor c;
+  const auto x = activation(state.range(0), 128);
+  run_encode(state, c, x);
+}
+BENCHMARK(BM_IdentityEncode)->Arg(256)->Arg(2048);
+
+void BM_TopKEncode(benchmark::State& state) {
+  compress::TopKCompressor c(0.05);
+  const auto x = activation(state.range(0), 128);
+  run_encode(state, c, x);
+}
+BENCHMARK(BM_TopKEncode)->Arg(256)->Arg(2048);
+
+void BM_TopKRoundTrip(benchmark::State& state) {
+  compress::TopKCompressor c(0.05);
+  const auto x = activation(state.range(0), 128);
+  run_round_trip(state, c, x);
+}
+BENCHMARK(BM_TopKRoundTrip)->Arg(256)->Arg(2048);
+
+void BM_RandomKEncode(benchmark::State& state) {
+  compress::RandomKCompressor c(0.05, 99);
+  const auto x = activation(state.range(0), 128);
+  run_encode(state, c, x);
+}
+BENCHMARK(BM_RandomKEncode)->Arg(256)->Arg(2048);
+
+void BM_QuantizeEncode(benchmark::State& state) {
+  compress::QuantizeCompressor c(static_cast<int>(state.range(1)));
+  const auto x = activation(state.range(0), 128);
+  run_encode(state, c, x);
+}
+BENCHMARK(BM_QuantizeEncode)->Args({2048, 2})->Args({2048, 4})->Args({2048, 8});
+
+void BM_QuantizeRoundTrip(benchmark::State& state) {
+  compress::QuantizeCompressor c(4);
+  const auto x = activation(state.range(0), 128);
+  run_round_trip(state, c, x);
+}
+BENCHMARK(BM_QuantizeRoundTrip)->Arg(256)->Arg(2048);
+
+void BM_AutoencoderEncode(benchmark::State& state) {
+  tensor::Generator gen(3);
+  compress::AutoencoderCompressor c(128, static_cast<int64_t>(state.range(1)), gen);
+  const auto x = activation(state.range(0), 128);
+  run_encode(state, c, x);
+}
+BENCHMARK(BM_AutoencoderEncode)->Args({2048, 6})->Args({2048, 13});
+
+void BM_AutoencoderRoundTrip(benchmark::State& state) {
+  tensor::Generator gen(3);
+  compress::AutoencoderCompressor c(128, 13, gen);
+  const auto x = activation(state.range(0), 128);
+  run_round_trip(state, c, x);
+}
+BENCHMARK(BM_AutoencoderRoundTrip)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

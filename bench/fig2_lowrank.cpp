@@ -1,0 +1,86 @@
+// Reproduces paper Figure 2: low-rank analysis — order the singular values
+// of (a) a weight gradient and (b) a late-layer activation, and plot the
+// cumulative singular-value mass ("sigma value percentage") against the
+// dimension percentage.
+//
+// Paper shape: the gradient curve saturates quickly (low-rank); the
+// activation curve is near the diagonal (NOT low-rank) — the reason the
+// low-rank gradient compressors of data parallelism (PowerSGD etc.) do not
+// transfer to activation compression.
+#include <cstdio>
+
+#include "autograd/functions.h"
+#include "bench/lab.h"
+#include "data/dataset.h"
+#include "tensor/svd.h"
+#include "train/optimizer.h"
+
+int main() {
+  using namespace actcomp;
+  namespace ag = autograd;
+  namespace ts = tensor;
+
+  // Train a model briefly on MNLI so the statistics are those of a real
+  // training run (not random init), then capture one batch's quantities.
+  const int64_t seq = 24;
+  ts::Generator gen(5);
+  const nn::BertConfig cfg = bench::bench_model_config(seq);
+  nn::BertModel model(cfg, gen);
+  data::TaskDataset ds = data::make_task_dataset(
+      data::TaskId::kMnliM, bench::scaled(512), seq, gen);
+  nn::ClassificationHead head(cfg.hidden, 3, gen);
+  train::Adam opt(model.parameters(), 5e-4f);
+  opt.add_parameters(head.parameters());
+  ts::Generator tg(6);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (const auto& b : ds.epoch_batches(16, &tg)) {
+      opt.zero_grad();
+      ag::Variable out = model.forward(b.input, tg, true);
+      ag::softmax_cross_entropy(head.forward(out), b.class_labels).backward();
+      opt.step();
+    }
+  }
+
+  // One more forward/backward to harvest: activation = last layer's output
+  // rows (the "12th transformer layer" analogue), gradient = that layer's
+  // attention output-projection weight gradient.
+  const auto batch = ds.batch(0, 32);
+  opt.zero_grad();
+  ag::Variable out = model.forward(batch.input, tg, true);
+  ag::softmax_cross_entropy(head.forward(out), batch.class_labels).backward();
+
+  const ts::Tensor activation = out.value().reshape(
+      ts::Shape{batch.input.batch * batch.input.seq, cfg.hidden});
+  ts::Tensor grad;
+  for (const auto& [name, p] : model.named_parameters()) {
+    if (name == "layer3.attn.wo.weight") grad = p.grad().clone();
+  }
+
+  const auto sv_act = ts::singular_values(activation);
+  const auto sv_grad = ts::singular_values(grad);
+  const auto cum_act = ts::cumulative_sigma_fraction(sv_act);
+  const auto cum_grad = ts::cumulative_sigma_fraction(sv_grad);
+
+  std::printf(
+      "Figure 2 — cumulative singular-value mass vs dimension percentage\n"
+      "(activation: last-layer output rows; gradient: wo weight gradient)\n\n");
+  std::vector<std::string> header{"dim %", "gradient", "activation"};
+  std::vector<std::vector<std::string>> body;
+  for (int pct : {5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
+    const size_t ia = std::min(cum_act.size() - 1, cum_act.size() * pct / 100);
+    const size_t ig = std::min(cum_grad.size() - 1, cum_grad.size() * pct / 100);
+    body.push_back({std::to_string(pct) + "%",
+                    bench::fmt(100.0 * cum_grad[ig], 1) + "%",
+                    bench::fmt(100.0 * cum_act[ia], 1) + "%"});
+  }
+  bench::print_table(header, body, 8);
+  std::printf(
+      "\nEffective rank (90%% mass): gradient %d / %zu dims, activation %d / %zu dims\n",
+      ts::effective_rank(sv_grad, 0.9f), sv_grad.size(),
+      ts::effective_rank(sv_act, 0.9f), sv_act.size());
+  std::printf(
+      "\nPaper reference (Fig. 2): the gradient reaches ~100%% of its singular\n"
+      "mass within a small fraction of the dimensions, while the activation's\n"
+      "cumulative mass grows nearly linearly — activations are not low-rank.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Figure 4: fine-tuning accuracy on CoLA and RTE as the
+// compression plan varies —
+//   (a) compress the LAST n layers, n in {0..L}  (paper: {4,8,...,24} of 24)
+//   (b) slide a fixed-size window across the network (location sweep)
+//
+// Uses the frozen-probe protocol (train uncompressed, attach compression
+// post-hoc) with the A2 autoencoder: it isolates compression damage from
+// training noise, which at our scale would otherwise dominate these small
+// sweeps. Paper shape: (a) accuracy decreases as more layers are
+// compressed; (b) compressing the EARLY layers hurts far more than the same
+// number of late layers (error accumulates through the network).
+#include <cstdio>
+
+#include "bench/lab.h"
+
+int main() {
+  using namespace actcomp;
+  const int64_t seq = 24;
+  const int64_t L = bench::bench_model_config(seq).num_layers;
+  const auto setting = compress::Setting::kA2;
+
+  std::printf("Figure 4 — accuracy vs compression amount and location (A2, x100)\n\n");
+  for (data::TaskId task : {data::TaskId::kCola, data::TaskId::kRte}) {
+    bench::FrozenProbe probe = bench::train_frozen_probe(task, seq, 2024);
+    const auto& name = data::task_info(task).name;
+    std::printf("%s baseline (uncompressed): %.2f\n\n", name.c_str(),
+                probe.baseline_metric);
+
+    std::printf("(a) compress the last n layers:\n");
+    {
+      std::vector<std::string> header{"last n"};
+      std::vector<std::string> row{name};
+      for (int64_t n = 0; n <= L; ++n) {
+        header.push_back(std::to_string(n));
+        if (n == 0) {
+          row.push_back(bench::fmt(probe.baseline_metric));
+          continue;
+        }
+        const auto plan = core::CompressionPlan::last_n(setting, L, n);
+        row.push_back(bench::fmt(bench::posthoc_metric(probe, plan, 2, 5)));
+      }
+      bench::print_table(header, {row}, 10);
+    }
+
+    std::printf("\n(b) compress a %lld-layer window at each location:\n",
+                static_cast<long long>(L / 2));
+    {
+      std::vector<std::string> header{"first layer"};
+      std::vector<std::string> row{name};
+      for (int64_t first = 0; first + L / 2 <= L; ++first) {
+        header.push_back(std::to_string(first));
+        const auto plan = core::CompressionPlan::window(setting, first, L / 2);
+        row.push_back(bench::fmt(bench::posthoc_metric(probe, plan, 2, 5)));
+      }
+      bench::print_table(header, {row}, 10);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference (Fig. 4): accuracy decreases monotonically-ish with\n"
+      "the number of compressed layers (compressing the last 8 of 24 keeps\n"
+      "the loss within ~3 points); placing the window over the FIRST layers\n"
+      "is far more damaging than over the last layers.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the throughput benches (Tables 2-4, 6-7, 9, 11-14;
+// Figs. 1 and 5), which drive the calibrated TP x PP simulator.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/lab.h"
+#include "core/compression_plan.h"
+#include "parallel/mp_simulator.h"
+#include "sim/hardware.h"
+
+namespace actcomp::bench {
+
+/// The (TP, PP) rows of the fine-tuning tables (4 GPUs).
+inline std::vector<parallel::ParallelConfig> finetune_parallel_rows() {
+  return {{1, 4}, {2, 2}, {4, 1}};
+}
+/// The (TP, PP) rows of the pre-training tables (16 GPUs).
+inline std::vector<parallel::ParallelConfig> pretrain_parallel_rows() {
+  return {{2, 8}, {4, 4}, {8, 2}};
+}
+
+/// Iteration time for one (cluster, parallel, job, setting) cell, with the
+/// paper's default plan (compress the last half of the layers).
+inline double cell_total_ms(const sim::ClusterSpec& cluster,
+                            parallel::ParallelConfig par, parallel::TrainJob job,
+                            compress::Setting setting) {
+  parallel::ModelParallelSimulator sim(cluster, nn::BertConfig::bert_large(),
+                                       par, job);
+  const auto plan = core::CompressionPlan::paper_default(
+      setting, nn::BertConfig::bert_large().num_layers);
+  return sim.run(plan).total_ms();
+}
+
+/// A full iteration-time table in the paper's layout: one row per
+/// distributed setting, one column per compression setting.
+inline void print_iteration_table(const std::string& caption,
+                                  const sim::ClusterSpec& cluster,
+                                  const std::vector<parallel::ParallelConfig>& rows,
+                                  parallel::TrainJob job,
+                                  const std::vector<compress::Setting>& cols) {
+  std::printf("%s\n(cluster: %s, micro-batch %lld x %lld micro-batches, seq %lld)\n\n",
+              caption.c_str(), cluster.name.c_str(),
+              static_cast<long long>(job.micro_batch),
+              static_cast<long long>(job.num_micro),
+              static_cast<long long>(job.seq));
+  std::vector<std::string> header{"Distributed Setting"};
+  for (auto s : cols) header.push_back(compress::setting_label(s));
+  std::vector<std::vector<std::string>> body;
+  for (const auto& par : rows) {
+    std::vector<std::string> row{"TP=" + std::to_string(par.tp) +
+                                 ", PP=" + std::to_string(par.pp)};
+    for (auto s : cols) {
+      row.push_back(fmt(cell_total_ms(cluster, par, job, s)));
+    }
+    body.push_back(std::move(row));
+  }
+  print_table(header, body);
+  std::printf("\n");
+}
+
+}  // namespace actcomp::bench

@@ -1,0 +1,81 @@
+// Reproduces paper Table 10: weak-scaling AE speedup under the Eq. (3)
+// cluster model, following the Megatron weak-scaling ladder (micro-batch 16,
+// TP=4, hidden size / layers / nodes / batch from Narayanan et al.).
+//
+// Paper shape: on a FIXED cluster the AE speedup decays as hidden size
+// grows (Eq. 2 / "understanding the trend"); when nodes scale with the
+// model, the speedup flattens out instead of collapsing.
+//
+// Two panels: (1) Eq. 3 with constants fitted against our simulator;
+// (2) Eq. 3 with beta solved so the FIRST row matches the paper's 1.91x,
+// testing whether the model's decay shape then predicts the paper's
+// plateau (it does — see EXPERIMENTS.md for the magnitude analysis).
+#include <cstdio>
+
+#include "bench/lab.h"
+#include "perf/perf_model.h"
+#include "sim/hardware.h"
+
+namespace {
+
+void print_rows(const std::vector<std::string>& header,
+                const actcomp::perf::PerfModelParams& p,
+                const actcomp::sim::ClusterSpec& cluster) {
+  using namespace actcomp;
+  std::vector<std::vector<std::string>> body;
+  for (const auto& row : perf::weak_scaling_table(p, cluster, 100)) {
+    const double fixed = perf::speedup_single_node(p, 16, 128, row.hidden, 100);
+    body.push_back({std::to_string(row.hidden), std::to_string(row.layers),
+                    std::to_string(row.nodes), std::to_string(row.global_batch),
+                    bench::fmt(row.speedup, 3) + "x", bench::fmt(fixed, 3) + "x"});
+  }
+  bench::print_table(header, body, 10);
+}
+
+}  // namespace
+
+int main() {
+  using namespace actcomp;
+  // Fit on the communication-constrained platform (PCIe): the paper's own
+  // fitted beta implies effective all-reduce bandwidth far below an NVLink
+  // ring, and on NVLink the speedup column degenerates to 1.00x throughout.
+  const auto cluster = sim::ClusterSpec::local_pcie();
+  const auto params = perf::fit_perf_model(
+      cluster, 4, 16, 128, {256, 512, 1024, 2048, 4096, 8192, 12288}, 100);
+  std::printf(
+      "Table 10 — weak-scaling AE speedup (Eq. 3)\n"
+      "Panel 1: constants fitted against the simulator (PCIe, TP=4)\n"
+      "alpha=%.3e ms/FLOP  beta=%.3e ms/elem  gamma=%.3e ms/elem\n"
+      "c=%.3f ms  d=%.0f elems\n\n",
+      params.alpha_ms_per_flop, params.beta_ms_per_elem,
+      params.gamma_ms_per_elem, params.comm_const_ms,
+      params.comm_threshold_elems);
+
+  const std::vector<std::string> header{"hidden",  "layers",  "nodes",
+                                        "batch",   "speedup", "fixed-1node"};
+  print_rows(header, params, cluster);
+
+  // Panel 2: solve for the beta the PAPER's first row implies (1.91x at
+  // h=6144 on one node), then let Eq. 3 predict the remaining rows.
+  perf::PerfModelParams pp = params;
+  pp.comm_const_ms = 0.2;            // the paper's quoted c
+  pp.comm_threshold_elems = 409600;  // the paper's quoted d
+  const double elems = 16.0 * 128.0 * 6144.0;
+  const double a_f = perf::t_comp(pp, perf::layer_flops(16, 128, 6144));
+  const double g_e = perf::t_overhead(pp, 16, 128, 6144);
+  pp.beta_ms_per_elem = (1.91 * (a_f + pp.comm_const_ms + g_e) - a_f) / elems;
+  std::printf(
+      "\nPanel 2: beta solved from the paper's first row (1.91x at h=6144)\n"
+      "implied beta = %.3e ms/elem (~%.0f MB/s effective all-reduce)\n\n",
+      pp.beta_ms_per_elem, 2.0e-3 / pp.beta_ms_per_elem / 1e6);
+  print_rows(header, pp, cluster);
+
+  std::printf(
+      "\nPaper reference (Table 10): 1.91x at h=6144 decaying to a ~1.46-1.47x\n"
+      "plateau at h=16384..25600. Panel 1's physically-calibrated constants\n"
+      "give much smaller absolute speedups (the paper's implied all-reduce\n"
+      "bandwidth is ~2 orders of magnitude below a V100 ring — see\n"
+      "EXPERIMENTS.md); Panel 2 shows that GIVEN their first row, Eq. 3\n"
+      "reproduces the decay-then-plateau shape of the remaining rows.\n");
+  return 0;
+}

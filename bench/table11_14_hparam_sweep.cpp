@@ -1,0 +1,39 @@
+// Reproduces paper Tables 11-14 (appendix): fine-tuning iteration time when
+// the batch size and sequence length shrink, with and without NVLink.
+//
+//   Table 11: NVLink,  b=32, s=128     Table 12: NVLink,  b=8, s=128
+//   Table 13: PCIe,    b=32, s=128     Table 14: PCIe,    b=8, s=128
+//
+// Paper shape (Takeaway 8): at small batch/sequence the message sizes shrink
+// but the encode/decode overhead does not, so NO compression setting beats
+// the baseline in any of these four tables.
+#include "bench/simbench.h"
+
+int main() {
+  using namespace actcomp;
+  std::vector<compress::Setting> cols = compress::main_settings();
+  cols.push_back(compress::Setting::kQ3);  // the appendix tables include Q3
+
+  struct Cfg {
+    const char* caption;
+    bool nvlink;
+    int64_t batch;
+  };
+  const Cfg cfgs[] = {
+      {"Table 11 — NVLink, batch 32, seq 128", true, 32},
+      {"Table 12 — NVLink, batch 8, seq 128", true, 8},
+      {"Table 13 — PCIe, batch 32, seq 128", false, 32},
+      {"Table 14 — PCIe, batch 8, seq 128", false, 8},
+  };
+  for (const auto& c : cfgs) {
+    bench::print_iteration_table(
+        c.caption,
+        c.nvlink ? sim::ClusterSpec::aws_p3(1) : sim::ClusterSpec::local_pcie(),
+        bench::finetune_parallel_rows(), parallel::TrainJob{c.batch, 1, 128},
+        cols);
+  }
+  std::printf(
+      "Paper reference: in all four tables every compression column is >= the\n"
+      "w/o column (e.g. Table 12 TP=2: w/o 121.26 vs A1 142.41 ms).\n");
+  return 0;
+}

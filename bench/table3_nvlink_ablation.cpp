@@ -1,0 +1,28 @@
+// Reproduces paper Table 3: AE iteration time with vs without NVLink.
+//
+// Paper shape: with NVLink, AE gives no gain at TP>=2; without NVLink
+// (PCIe), AE wins — up to 17.8% at TP=4/PP=1 in the paper.
+#include "bench/simbench.h"
+
+int main() {
+  using namespace actcomp;
+  const std::vector<compress::Setting> cols = {
+      compress::Setting::kBaseline, compress::Setting::kA1, compress::Setting::kA2};
+  bench::print_iteration_table("Table 3a — fine-tuning with NVLink",
+                               sim::ClusterSpec::aws_p3(1),
+                               bench::finetune_parallel_rows(),
+                               parallel::TrainJob{32, 1, 512}, cols);
+  bench::print_iteration_table("Table 3b — fine-tuning without NVLink (PCIe)",
+                               sim::ClusterSpec::local_pcie(),
+                               bench::finetune_parallel_rows(),
+                               parallel::TrainJob{32, 1, 512}, cols);
+  // Summarize the headline speedup.
+  const auto job = actcomp::parallel::TrainJob{32, 1, 512};
+  const double base = bench::cell_total_ms(sim::ClusterSpec::local_pcie(), {4, 1},
+                                           job, compress::Setting::kBaseline);
+  const double a1 = bench::cell_total_ms(sim::ClusterSpec::local_pcie(), {4, 1},
+                                         job, compress::Setting::kA1);
+  std::printf("PCIe TP=4/PP=1 AE speedup: %.1f%%  (paper: up to 17.8%%)\n",
+              (base / a1 - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces paper Table 5: fine-tuning accuracy over the nine GLUE-style
+// task columns under every compression setting (TP=2/PP=2 plan: the last
+// half of the layers is compressed at both tensor-parallel points, plus the
+// mid-network pipeline boundary).
+//
+// Two panels:
+//   A. the paper's protocol — fine-tune WITH compression active. At our
+//      reduced scale joint training co-adapts around sparsification, so
+//      Top-K damage is milder than the paper's catastrophic numbers.
+//   B. the frozen-probe protocol — train uncompressed, freeze, attach
+//      compression at evaluation (AE codecs trained on the frozen model).
+//      This isolates information destruction and reproduces the paper's
+//      ordering: quantization ~ baseline > AE > Top-K, and T4 > T1.
+//
+// Metrics follow the paper: F1 for QQP/MRPC, Matthews for CoLA, Spearman for
+// STS-B, accuracy elsewhere; all x100.
+#include <cstdio>
+
+#include "bench/lab.h"
+#include "data/tasks.h"
+
+int main() {
+  using namespace actcomp;
+  const std::vector<compress::Setting> settings = {
+      compress::Setting::kBaseline, compress::Setting::kA1,
+      compress::Setting::kA2,       compress::Setting::kT1,
+      compress::Setting::kT2,       compress::Setting::kT3,
+      compress::Setting::kT4,       compress::Setting::kQ1,
+      compress::Setting::kQ2};
+  const int64_t seq = 24;
+  const int64_t layers = bench::bench_model_config(seq).num_layers;
+
+  std::vector<std::string> header{"Algorithm"};
+  for (const auto& t : data::all_tasks()) header.push_back(t.name);
+  header.push_back("Avg.");
+
+  std::printf(
+      "Table 5 — fine-tuning accuracy x100 (scale %.2f; model h=32, L=%lld,\n"
+      "last %lld layers compressed; see header comment for protocol notes)\n\n"
+      "Panel A: compressed fine-tuning (paper protocol, half-budget recipes)\n\n",
+      bench::bench_scale(), static_cast<long long>(layers),
+      static_cast<long long>(layers / 2));
+  {
+    std::vector<std::vector<std::string>> body;
+    for (auto s : settings) {
+      std::vector<std::string> row{compress::setting_label(s)};
+      double sum = 0.0;
+      for (const auto& t : data::all_tasks()) {
+        const auto plan = core::CompressionPlan::paper_default(s, layers);
+        const double m = bench::compressed_finetune(t.id, s, plan, seq, 1234, /*light=*/true);
+        row.push_back(bench::fmt(m));
+        sum += m;
+      }
+      row.push_back(bench::fmt(sum / static_cast<double>(data::all_tasks().size())));
+      body.push_back(std::move(row));
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+    bench::print_table(header, body, 10, 9);
+  }
+
+  std::printf("\nPanel B: frozen-probe (compression applied post-hoc)\n\n");
+  {
+    // One baseline training per task, then cheap evaluations per setting.
+    std::vector<bench::FrozenProbe> probes;
+    for (const auto& t : data::all_tasks()) {
+      probes.push_back(bench::train_frozen_probe(t.id, seq, 77));
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+    std::vector<std::vector<std::string>> body;
+    for (auto s : settings) {
+      std::vector<std::string> row{compress::setting_label(s)};
+      double sum = 0.0;
+      for (auto& p : probes) {
+        double m;
+        if (s == compress::Setting::kBaseline) {
+          m = p.baseline_metric;
+        } else {
+          const auto plan = core::CompressionPlan::paper_default(s, layers);
+          m = bench::posthoc_metric(p, plan, /*pp_degree=*/2, 91);
+        }
+        row.push_back(bench::fmt(m));
+        sum += m;
+      }
+      row.push_back(bench::fmt(sum / static_cast<double>(probes.size())));
+      body.push_back(std::move(row));
+    }
+    bench::print_table(header, body, 10, 9);
+  }
+
+  std::printf(
+      "\nPaper reference (Table 5): w/o avg 86.64; A1/A2 avg ~82.5 (within\n"
+      "~3-4 points); T1..T4 avg 44.8 / 55.0 / 50.9 / 70.9 (catastrophic,\n"
+      "improving with kept fraction); Q1/Q2 avg 80.0 / 85.0. CoLA and RTE\n"
+      "are the most damaged columns. Expect the ordering (Q ~ w/o > A > T,\n"
+      "T4 > T1, CoLA/RTE weakest) in Panel B; Panel A shows compression-\n"
+      "aware training recovering much of the loss at this scale.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Scaling advisor: the paper's §4.7 analytical model as a planning tool.
+//
+// Fits the cost model on a platform, then answers: at YOUR hidden size,
+// layer count, cluster size, and network, what AE speedup should you expect
+// — and how should you scale nodes to keep it? (Table 10's question.)
+//
+//   $ ./scaling_advisor [hidden] [layers] [nodes] [global_batch]
+//   $ ./scaling_advisor 8192 48 4 1536
+#include <cstdio>
+#include <cstdlib>
+
+#include "perf/perf_model.h"
+#include "sim/hardware.h"
+
+int main(int argc, char** argv) {
+  using namespace actcomp;
+  const int64_t hidden = argc > 1 ? std::atoll(argv[1]) : 8192;
+  const int64_t layers = argc > 2 ? std::atoll(argv[2]) : 48;
+  const int64_t nodes = argc > 3 ? std::atoll(argv[3]) : 4;
+  const int64_t global_batch = argc > 4 ? std::atoll(argv[4]) : 1536;
+  constexpr int64_t kMicro = 16;
+  constexpr int64_t kSeq = 128;
+  constexpr int64_t kCode = 100;  // the paper's fixed AE dim for this study
+
+  const auto cluster = sim::ClusterSpec::local_pcie();
+  const auto p = perf::fit_perf_model(
+      cluster, 4, kMicro, kSeq, {256, 512, 1024, 2048, 4096, 8192, 12288}, kCode);
+  std::printf(
+      "Fitted on %s (TP=4): alpha=%.3e ms/FLOP, beta=%.3e ms/elem,\n"
+      "gamma=%.3e ms/elem, c=%.3f ms, d=%.0f elems\n\n",
+      cluster.name.c_str(), p.alpha_ms_per_flop, p.beta_ms_per_elem,
+      p.gamma_ms_per_elem, p.comm_const_ms, p.comm_threshold_elems);
+
+  const double per_layer = perf::layer_time(p, kMicro, kSeq, hidden);
+  const double per_layer_ae = perf::layer_time_ae(p, kMicro, kSeq, hidden, kCode);
+  std::printf("Per-layer time @ h=%lld: %.3f ms -> %.3f ms with AE (Eq. 2: %.3fx)\n",
+              static_cast<long long>(hidden), per_layer, per_layer_ae,
+              perf::speedup_single_node(p, kMicro, kSeq, hidden, kCode));
+
+  const double w = cluster.inter_node.bandwidth_gb_s * 1e9 / 2.0 * 1e-3;
+  const int64_t num_micro = std::max<int64_t>(1, global_batch / kMicro);
+  std::printf(
+      "Cluster speedup (Eq. 3) at n=%lld nodes, %lld micro-batches: %.3fx\n\n",
+      static_cast<long long>(nodes), static_cast<long long>(num_micro),
+      perf::speedup_cluster(p, kMicro, kSeq, hidden, kCode, layers, nodes,
+                            num_micro, w));
+
+  std::printf("If you scale nodes with the model (weak scaling):\n");
+  std::printf("%8s %8s %10s\n", "nodes", "hidden", "speedup");
+  for (int64_t n = 1; n <= nodes * 8; n *= 2) {
+    const int64_t h = hidden * n / nodes;  // grow the model with the cluster
+    std::printf("%8lld %8lld %9.3fx\n", static_cast<long long>(n),
+                static_cast<long long>(h),
+                perf::speedup_cluster(p, kMicro, kSeq, h, kCode, layers, n,
+                                      num_micro, w));
+  }
+  std::printf(
+      "\nTakeaway (paper §4.7): compression's benefit decays with hidden size\n"
+      "on a fixed cluster; retaining it requires scaling the cluster (and\n"
+      "pipeline) together with the model.\n");
+  return 0;
+}

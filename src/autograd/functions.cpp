@@ -1,0 +1,525 @@
+#include "autograd/functions.h"
+
+#include <cmath>
+#include <utility>
+
+#include "tensor/check.h"
+#include "tensor/ops.h"
+
+namespace actcomp::autograd {
+
+namespace ts = actcomp::tensor;
+using detail::Node;
+
+namespace {
+
+// Sum `g` (shaped like the broadcast output) down to `target` (the smaller,
+// right-aligned operand shape).
+ts::Tensor reduce_to_shape(const ts::Tensor& g, const ts::Shape& target) {
+  if (g.shape() == target) return g;
+  ts::Tensor out{target};
+  const auto dg = g.data();
+  auto dout = out.data();
+  const size_t nb = static_cast<size_t>(target.numel());
+  ACTCOMP_ASSERT(nb > 0 && dg.size() % nb == 0, "broadcast reduce mismatch");
+  for (size_t i = 0; i < dg.size(); ++i) dout[i % nb] += dg[i];
+  return out;
+}
+
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  ts::Tensor out = ts::add(a.value(), b.value());
+  return Variable::make(
+      std::move(out), {a, b},
+      [an = a.node(), bn = b.node()](Node& n) {
+        if (an->requires_grad) an->accumulate(n.grad);
+        if (bn->requires_grad) bn->accumulate(reduce_to_shape(n.grad, bn->value.shape()));
+      },
+      "add");
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  ts::Tensor out = ts::sub(a.value(), b.value());
+  return Variable::make(
+      std::move(out), {a, b},
+      [an = a.node(), bn = b.node()](Node& n) {
+        if (an->requires_grad) an->accumulate(n.grad);
+        if (bn->requires_grad) {
+          bn->accumulate(reduce_to_shape(ts::neg(n.grad), bn->value.shape()));
+        }
+      },
+      "sub");
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  ts::Tensor out = ts::mul(a.value(), b.value());
+  return Variable::make(
+      std::move(out), {a, b},
+      [an = a.node(), bn = b.node()](Node& n) {
+        if (an->requires_grad) an->accumulate(ts::mul(n.grad, bn->value));
+        if (bn->requires_grad) {
+          bn->accumulate(
+              reduce_to_shape(ts::mul(n.grad, an->value), bn->value.shape()));
+        }
+      },
+      "mul");
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  return Variable::make(
+      ts::mul_scalar(a.value(), s), {a},
+      [an = a.node(), s](Node& n) { an->accumulate(ts::mul_scalar(n.grad, s)); },
+      "mul_scalar");
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  return Variable::make(
+      ts::add_scalar(a.value(), s), {a},
+      [an = a.node()](Node& n) { an->accumulate(n.grad); }, "add_scalar");
+}
+
+Variable matmul(const Variable& a, const Variable& b) {
+  ts::Tensor out = ts::matmul(a.value(), b.value());
+  const int ra = a.value().rank();
+  const int rb = b.value().rank();
+  return Variable::make(
+      std::move(out), {a, b},
+      [an = a.node(), bn = b.node(), ra, rb](Node& n) {
+        const ts::Tensor& g = n.grad;
+        if (ra == 2 && rb == 2) {
+          if (an->requires_grad)
+            an->accumulate(ts::matmul2d(g, ts::transpose_last2(bn->value)));
+          if (bn->requires_grad)
+            bn->accumulate(ts::matmul2d(ts::transpose_last2(an->value), g));
+        } else if (ra == 3 && rb == 2) {
+          const int64_t B = an->value.dim(0), m = an->value.dim(1),
+                        k = an->value.dim(2);
+          const int64_t nn = bn->value.dim(1);
+          ts::Tensor g2 = g.reshape(ts::Shape{B * m, nn});
+          if (an->requires_grad) {
+            an->accumulate(ts::matmul2d(g2, ts::transpose_last2(bn->value))
+                               .reshape(ts::Shape{B, m, k}));
+          }
+          if (bn->requires_grad) {
+            ts::Tensor a2 = an->value.reshape(ts::Shape{B * m, k});
+            bn->accumulate(ts::matmul2d(ts::transpose_last2(a2), g2));
+          }
+        } else {  // 3x3 batched
+          if (an->requires_grad)
+            an->accumulate(ts::matmul(g, ts::transpose_last2(bn->value)));
+          if (bn->requires_grad)
+            bn->accumulate(ts::matmul(ts::transpose_last2(an->value), g));
+        }
+      },
+      "matmul");
+}
+
+Variable reshape(const Variable& a, ts::Shape shape) {
+  ts::Tensor out = a.value().reshape(shape);
+  return Variable::make(
+      std::move(out), {a},
+      [an = a.node()](Node& n) {
+        an->accumulate(n.grad.reshape(an->value.shape()));
+      },
+      "reshape");
+}
+
+Variable permute(const Variable& a, const std::vector<int>& axes) {
+  ts::Tensor out = ts::permute(a.value(), axes);
+  std::vector<int> inverse(axes.size());
+  for (size_t i = 0; i < axes.size(); ++i) {
+    inverse[static_cast<size_t>(axes[i])] = static_cast<int>(i);
+  }
+  return Variable::make(
+      std::move(out), {a},
+      [an = a.node(), inverse](Node& n) {
+        an->accumulate(ts::permute(n.grad, inverse));
+      },
+      "permute");
+}
+
+Variable transpose_last2(const Variable& a) {
+  const int r = a.value().rank();
+  std::vector<int> axes(static_cast<size_t>(r));
+  for (int i = 0; i < r; ++i) axes[static_cast<size_t>(i)] = i;
+  std::swap(axes[axes.size() - 1], axes[axes.size() - 2]);
+  return permute(a, axes);
+}
+
+Variable concat_last(const std::vector<Variable>& parts) {
+  ACTCOMP_CHECK(!parts.empty(), "concat_last of zero variables");
+  std::vector<ts::Tensor> values;
+  values.reserve(parts.size());
+  std::vector<int64_t> widths;
+  for (const Variable& p : parts) {
+    values.push_back(p.value());
+    widths.push_back(p.value().dim(-1));
+  }
+  ts::Tensor out = ts::concat_last(values);
+  return Variable::make(
+      std::move(out), parts,
+      [parents = parts, widths](Node& n) {
+        int64_t off = 0;
+        for (size_t i = 0; i < parents.size(); ++i) {
+          auto pn = parents[i].node();
+          if (pn->requires_grad) {
+            pn->accumulate(ts::slice_last(n.grad, off, widths[i]));
+          }
+          off += widths[i];
+        }
+      },
+      "concat_last");
+}
+
+Variable slice_last(const Variable& a, int64_t start, int64_t len) {
+  ts::Tensor out = ts::slice_last(a.value(), start, len);
+  return Variable::make(
+      std::move(out), {a},
+      [an = a.node(), start, len](Node& n) {
+        ts::Tensor full{an->value.shape()};
+        const int64_t cols = an->value.dim(-1);
+        const int64_t rows = cols == 0 ? 0 : an->value.numel() / cols;
+        auto df = full.data();
+        const auto dg = n.grad.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < len; ++c) {
+            df[static_cast<size_t>(r * cols + start + c)] =
+                dg[static_cast<size_t>(r * len + c)];
+          }
+        }
+        an->accumulate(full);
+      },
+      "slice_last");
+}
+
+Variable gelu(const Variable& a) {
+  return Variable::make(
+      ts::gelu(a.value()), {a},
+      [an = a.node()](Node& n) {
+        an->accumulate(ts::mul(n.grad, ts::gelu_grad(an->value)));
+      },
+      "gelu");
+}
+
+Variable relu(const Variable& a) {
+  return Variable::make(
+      ts::relu(a.value()), {a},
+      [an = a.node()](Node& n) {
+        ts::Tensor g = n.grad.clone();
+        auto dg = g.data();
+        const auto dx = an->value.data();
+        for (size_t i = 0; i < dg.size(); ++i) {
+          if (dx[i] <= 0.0f) dg[i] = 0.0f;
+        }
+        an->accumulate(g);
+      },
+      "relu");
+}
+
+Variable tanh(const Variable& a) {
+  ts::Tensor out = ts::tanh(a.value());
+  return Variable::make(
+      out, {a},
+      [an = a.node(), out](Node& n) {
+        ts::Tensor g{out.shape()};
+        auto dg = g.data();
+        const auto dt = out.data();
+        const auto dn = n.grad.data();
+        for (size_t i = 0; i < dg.size(); ++i) dg[i] = dn[i] * (1.0f - dt[i] * dt[i]);
+        an->accumulate(g);
+      },
+      "tanh");
+}
+
+Variable sigmoid(const Variable& a) {
+  ts::Tensor out = ts::sigmoid(a.value());
+  return Variable::make(
+      out, {a},
+      [an = a.node(), out](Node& n) {
+        ts::Tensor g{out.shape()};
+        auto dg = g.data();
+        const auto ds = out.data();
+        const auto dn = n.grad.data();
+        for (size_t i = 0; i < dg.size(); ++i) dg[i] = dn[i] * ds[i] * (1.0f - ds[i]);
+        an->accumulate(g);
+      },
+      "sigmoid");
+}
+
+Variable layernorm(const Variable& x, const Variable& gamma, const Variable& beta,
+                   float eps) {
+  const ts::Tensor& xv = x.value();
+  const int64_t h = xv.dim(-1);
+  ACTCOMP_CHECK(gamma.value().shape() == ts::Shape{h} &&
+                    beta.value().shape() == ts::Shape{h},
+                "layernorm affine params must be [" << h << "]");
+  const auto mo = ts::row_moments(xv, eps);
+  const int64_t rows = h == 0 ? 0 : xv.numel() / h;
+
+  ts::Tensor xhat{xv.shape()};
+  {
+    const auto dx = xv.data();
+    auto dh = xhat.data();
+    const auto dm = mo.mean.data();
+    const auto dr = mo.rstd.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float m = dm[static_cast<size_t>(r)];
+      const float rs = dr[static_cast<size_t>(r)];
+      for (int64_t c = 0; c < h; ++c) {
+        const size_t i = static_cast<size_t>(r * h + c);
+        dh[i] = (dx[i] - m) * rs;
+      }
+    }
+  }
+  ts::Tensor out = ts::add(ts::mul(xhat, gamma.value()), beta.value());
+
+  return Variable::make(
+      std::move(out), {x, gamma, beta},
+      [xn = x.node(), gn = gamma.node(), bn = beta.node(), xhat, rstd = mo.rstd,
+       rows, h](Node& n) {
+        const auto dg = n.grad.data();
+        const auto dh = xhat.data();
+        if (gn->requires_grad) {
+          ts::Tensor ggamma{ts::Shape{h}};
+          auto d = ggamma.data();
+          for (int64_t r = 0; r < rows; ++r) {
+            for (int64_t c = 0; c < h; ++c) {
+              const size_t i = static_cast<size_t>(r * h + c);
+              d[static_cast<size_t>(c)] += dg[i] * dh[i];
+            }
+          }
+          gn->accumulate(ggamma);
+        }
+        if (bn->requires_grad) bn->accumulate(ts::sum_to_last(n.grad));
+        if (xn->requires_grad) {
+          ts::Tensor gx{xn->value.shape()};
+          auto dx = gx.data();
+          const auto dgam = gn->value.data();
+          const auto drs = rstd.data();
+          for (int64_t r = 0; r < rows; ++r) {
+            // dy = g * gamma;  dx = rstd * (dy - mean(dy) - xhat * mean(dy*xhat))
+            double s1 = 0.0, s2 = 0.0;
+            for (int64_t c = 0; c < h; ++c) {
+              const size_t i = static_cast<size_t>(r * h + c);
+              const float dy = dg[i] * dgam[static_cast<size_t>(c)];
+              s1 += dy;
+              s2 += static_cast<double>(dy) * dh[i];
+            }
+            const float m1 = static_cast<float>(s1 / static_cast<double>(h));
+            const float m2 = static_cast<float>(s2 / static_cast<double>(h));
+            const float rs = drs[static_cast<size_t>(r)];
+            for (int64_t c = 0; c < h; ++c) {
+              const size_t i = static_cast<size_t>(r * h + c);
+              const float dy = dg[i] * dgam[static_cast<size_t>(c)];
+              dx[i] = rs * (dy - m1 - dh[i] * m2);
+            }
+          }
+          xn->accumulate(gx);
+        }
+      },
+      "layernorm");
+}
+
+Variable softmax_last(const Variable& a) {
+  ts::Tensor out = ts::softmax_last(a.value());
+  return Variable::make(
+      out, {a},
+      [an = a.node(), out](Node& n) {
+        // ds = s * (g - sum(g * s, last))
+        const int64_t cols = out.dim(-1);
+        const int64_t rows = cols == 0 ? 0 : out.numel() / cols;
+        ts::Tensor gx{out.shape()};
+        auto dx = gx.data();
+        const auto ds = out.data();
+        const auto dg = n.grad.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          double dot = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            const size_t i = static_cast<size_t>(r * cols + c);
+            dot += static_cast<double>(dg[i]) * ds[i];
+          }
+          for (int64_t c = 0; c < cols; ++c) {
+            const size_t i = static_cast<size_t>(r * cols + c);
+            dx[i] = ds[i] * (dg[i] - static_cast<float>(dot));
+          }
+        }
+        an->accumulate(gx);
+      },
+      "softmax_last");
+}
+
+Variable dropout(const Variable& a, float p, ts::Generator& gen, bool training) {
+  ACTCOMP_CHECK(p >= 0.0f && p < 1.0f, "dropout p must be in [0, 1), got " << p);
+  if (!training || p == 0.0f) return a;
+  const float scale = 1.0f / (1.0f - p);
+  ts::Tensor mask{a.value().shape()};
+  for (float& m : mask.data()) m = gen.bernoulli(p) ? 0.0f : scale;
+  ts::Tensor out = ts::mul(a.value(), mask);
+  return Variable::make(
+      std::move(out), {a},
+      [an = a.node(), mask](Node& n) { an->accumulate(ts::mul(n.grad, mask)); },
+      "dropout");
+}
+
+Variable gather_rows(const Variable& x, const std::vector<int64_t>& rows) {
+  const ts::Tensor& xv = x.value();
+  ACTCOMP_CHECK(xv.rank() == 2, "gather_rows needs a [N, h] input, got "
+                                    << xv.shape().str());
+  const int64_t N = xv.dim(0);
+  const int64_t h = xv.dim(1);
+  ts::Tensor out{ts::Shape{static_cast<int64_t>(rows.size()), h}};
+  const auto dx = xv.data();
+  auto dout = out.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ACTCOMP_CHECK(rows[i] >= 0 && rows[i] < N,
+                  "gather_rows index " << rows[i] << " out of range [0, " << N << ")");
+    for (int64_t c = 0; c < h; ++c) {
+      dout[i * static_cast<size_t>(h) + static_cast<size_t>(c)] =
+          dx[static_cast<size_t>(rows[i] * h + c)];
+    }
+  }
+  return Variable::make(
+      std::move(out), {x},
+      [xn = x.node(), rows, h](Node& n) {
+        ts::Tensor g{xn->value.shape()};
+        auto dg = g.data();
+        const auto dn = n.grad.data();
+        for (size_t i = 0; i < rows.size(); ++i) {
+          for (int64_t c = 0; c < h; ++c) {
+            dg[static_cast<size_t>(rows[i] * h + c)] +=
+                dn[i * static_cast<size_t>(h) + static_cast<size_t>(c)];
+          }
+        }
+        xn->accumulate(g);
+      },
+      "gather_rows");
+}
+
+Variable embedding(const Variable& table, const std::vector<int64_t>& ids) {
+  const ts::Tensor& tv = table.value();
+  ACTCOMP_CHECK(tv.rank() == 2, "embedding table must be [V, h]");
+  const int64_t V = tv.dim(0);
+  const int64_t h = tv.dim(1);
+  ts::Tensor out{ts::Shape{static_cast<int64_t>(ids.size()), h}};
+  const auto dt = tv.data();
+  auto dout = out.data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ACTCOMP_CHECK(ids[i] >= 0 && ids[i] < V,
+                  "embedding id " << ids[i] << " out of range [0, " << V << ")");
+    for (int64_t c = 0; c < h; ++c) {
+      dout[i * static_cast<size_t>(h) + static_cast<size_t>(c)] =
+          dt[static_cast<size_t>(ids[i] * h + c)];
+    }
+  }
+  return Variable::make(
+      std::move(out), {table},
+      [tn = table.node(), ids, h](Node& n) {
+        ts::Tensor gt{tn->value.shape()};
+        auto dg = gt.data();
+        const auto dn = n.grad.data();
+        for (size_t i = 0; i < ids.size(); ++i) {
+          for (int64_t c = 0; c < h; ++c) {
+            dg[static_cast<size_t>(ids[i] * h + c)] +=
+                dn[i * static_cast<size_t>(h) + static_cast<size_t>(c)];
+          }
+        }
+        tn->accumulate(gt);
+      },
+      "embedding");
+}
+
+namespace {
+
+Variable cross_entropy_impl(const Variable& logits,
+                            const std::vector<int64_t>& labels,
+                            int64_t ignore_index, bool use_ignore,
+                            const char* name) {
+  const ts::Tensor& lv = logits.value();
+  ACTCOMP_CHECK(lv.rank() == 2, name << " needs [N, C] logits, got " << lv.shape().str());
+  const int64_t N = lv.dim(0);
+  const int64_t C = lv.dim(1);
+  ACTCOMP_CHECK(static_cast<int64_t>(labels.size()) == N,
+                name << ": " << labels.size() << " labels for " << N << " rows");
+  const ts::Tensor logp = ts::log_softmax_last(lv);
+  const auto dlp = logp.data();
+  double loss = 0.0;
+  int64_t counted = 0;
+  for (int64_t i = 0; i < N; ++i) {
+    if (use_ignore && labels[static_cast<size_t>(i)] == ignore_index) continue;
+    const int64_t y = labels[static_cast<size_t>(i)];
+    ACTCOMP_CHECK(y >= 0 && y < C, name << ": label " << y << " out of range");
+    loss -= dlp[static_cast<size_t>(i * C + y)];
+    ++counted;
+  }
+  const float denom = counted > 0 ? static_cast<float>(counted) : 1.0f;
+  ts::Tensor out = ts::Tensor::scalar(static_cast<float>(loss) / denom);
+  return Variable::make(
+      std::move(out), {logits},
+      [ln = logits.node(), labels, logp, N, C, denom, use_ignore,
+       ignore_index](Node& n) {
+        const float seed = n.grad.item();
+        ts::Tensor g{ln->value.shape()};
+        auto dg = g.data();
+        const auto dlp2 = logp.data();
+        for (int64_t i = 0; i < N; ++i) {
+          const int64_t y = labels[static_cast<size_t>(i)];
+          if (use_ignore && y == ignore_index) continue;  // zero grad row
+          for (int64_t c = 0; c < C; ++c) {
+            const size_t idx = static_cast<size_t>(i * C + c);
+            float p = std::exp(dlp2[idx]);
+            if (c == y) p -= 1.0f;
+            dg[idx] = seed * p / denom;
+          }
+        }
+        ln->accumulate(g);
+      },
+      name);
+}
+
+}  // namespace
+
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<int64_t>& labels) {
+  return cross_entropy_impl(logits, labels, 0, false, "softmax_cross_entropy");
+}
+
+Variable softmax_cross_entropy_masked(const Variable& logits,
+                                      const std::vector<int64_t>& labels,
+                                      int64_t ignore_index) {
+  return cross_entropy_impl(logits, labels, ignore_index, true,
+                            "softmax_cross_entropy_masked");
+}
+
+Variable mse_loss(const Variable& pred, const ts::Tensor& target) {
+  ACTCOMP_CHECK(pred.value().shape() == target.shape(),
+                "mse_loss shape mismatch: " << pred.value().shape().str() << " vs "
+                                            << target.shape().str());
+  const int64_t N = pred.value().numel();
+  ACTCOMP_CHECK(N > 0, "mse_loss of empty tensors");
+  const ts::Tensor diff = ts::sub(pred.value(), target);
+  double s = 0.0;
+  for (float v : diff.data()) s += static_cast<double>(v) * v;
+  ts::Tensor out = ts::Tensor::scalar(static_cast<float>(s / static_cast<double>(N)));
+  return Variable::make(
+      std::move(out), {pred},
+      [pn = pred.node(), diff, N](Node& n) {
+        const float seed = n.grad.item();
+        pn->accumulate(ts::mul_scalar(diff, 2.0f * seed / static_cast<float>(N)));
+      },
+      "mse_loss");
+}
+
+Variable custom_unary(
+    const Variable& input, ts::Tensor output_value,
+    std::function<ts::Tensor(const ts::Tensor&, const ts::Tensor&)> vjp,
+    std::string op_name) {
+  return Variable::make(
+      std::move(output_value), {input},
+      [in = input.node(), vjp = std::move(vjp)](Node& n) {
+        in->accumulate(vjp(n.grad, in->value));
+      },
+      std::move(op_name));
+}
+
+}  // namespace actcomp::autograd

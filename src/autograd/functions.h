@@ -1,0 +1,76 @@
+// Differentiable operations over Variables.
+//
+// Each function computes the forward value with tensor:: kernels and attaches
+// a backward closure. Fused ops (layernorm, softmax cross-entropy, attention
+// score scaling) carry hand-derived gradients so tapes stay short — this
+// library trains real (small) Transformers on one CPU core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/random.h"
+
+namespace actcomp::autograd {
+
+// ---- arithmetic ----
+Variable add(const Variable& a, const Variable& b);   // right-aligned broadcast of b
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);   // same-shape or broadcast b
+Variable mul_scalar(const Variable& a, float s);
+Variable add_scalar(const Variable& a, float s);
+
+// ---- matmul / structure ----
+Variable matmul(const Variable& a, const Variable& b);  // 2D/3D as tensor::matmul
+Variable reshape(const Variable& a, tensor::Shape shape);
+Variable permute(const Variable& a, const std::vector<int>& axes);
+Variable transpose_last2(const Variable& a);
+Variable concat_last(const std::vector<Variable>& parts);
+Variable slice_last(const Variable& a, int64_t start, int64_t len);
+
+// ---- activations ----
+Variable gelu(const Variable& a);
+Variable relu(const Variable& a);
+Variable tanh(const Variable& a);
+Variable sigmoid(const Variable& a);
+
+// ---- normalization / softmax ----
+Variable layernorm(const Variable& x, const Variable& gamma, const Variable& beta,
+                   float eps = 1e-5f);
+Variable softmax_last(const Variable& a);
+
+// ---- regularization ----
+Variable dropout(const Variable& a, float p, tensor::Generator& gen, bool training);
+
+/// Gather rows of a 2-D variable: out[i, :] = x[rows[i], :]. Used for [CLS]
+/// pooling and for collecting masked positions in the MLM head.
+Variable gather_rows(const Variable& x, const std::vector<int64_t>& rows);
+
+// ---- embedding ----
+/// Gather rows of `table` ([V, h]) at `ids` (values in [0, V)); output
+/// [ids.size(), h] reshaped to `out_prefix` + [h] by the caller if needed.
+Variable embedding(const Variable& table, const std::vector<int64_t>& ids);
+
+// ---- losses (all return scalars, mean-reduced) ----
+/// Softmax cross entropy: logits [N, C], labels in [0, C).
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<int64_t>& labels);
+/// Same but ignoring positions with label == ignore_index (MLM loss).
+Variable softmax_cross_entropy_masked(const Variable& logits,
+                                      const std::vector<int64_t>& labels,
+                                      int64_t ignore_index);
+Variable mse_loss(const Variable& pred, const tensor::Tensor& target);
+
+// ---- custom-op escape hatch ----
+/// Unary op with caller-supplied forward value and vjp. `vjp(grad_out,
+/// input_value)` returns the gradient w.r.t. the input. This is how the
+/// compression operators (Top-K masks, quantization straight-through) plug
+/// into the tape without autograd knowing about them.
+Variable custom_unary(
+    const Variable& input, tensor::Tensor output_value,
+    std::function<tensor::Tensor(const tensor::Tensor& grad_out,
+                                 const tensor::Tensor& input_value)> vjp,
+    std::string op_name);
+
+}  // namespace actcomp::autograd

@@ -1,0 +1,48 @@
+// Learning-based compression: the autoencoder codec (paper §3.2, A1/A2).
+//
+// Per compressed layer the paper keeps a learnable encoder w ∈ R^{h×c} and a
+// decoder w' ∈ R^{c×h}; the activation X ∈ R^{b×s×h} travels as Xw ∈ R^{b×s×c}.
+// Unlike the other compressors this one is *fully differentiable*: apply()
+// builds a real autograd subgraph so the codec trains jointly with the task
+// loss — the property that makes AEs usable for model parallelism but not for
+// gradient compression (paper §2.2, challenge 3).
+//
+// Because the compressed activation is a single dense fp16 tensor, the AE is
+// the only lossy compressor that can ride all-reduce unchanged (§3.2).
+#pragma once
+
+#include "compress/compressor.h"
+#include "tensor/random.h"
+
+namespace actcomp::compress {
+
+class AutoencoderCompressor final : public Compressor {
+ public:
+  /// `hidden`: activation feature size h; `code`: compressed size c < h.
+  AutoencoderCompressor(int64_t hidden, int64_t code, tensor::Generator& gen);
+
+  std::string name() const override;
+  CompressedMessage encode(const tensor::Tensor& x) override;
+  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  tensor::Tensor round_trip(const tensor::Tensor& x) override;
+  autograd::Variable apply(const autograd::Variable& x) override;
+  WireFormat wire_size(const tensor::Shape& shape) const override;
+  bool allreduce_compatible() const override { return true; }
+  std::vector<autograd::Variable> parameters() override;
+
+  int64_t hidden() const { return hidden_; }
+  int64_t code() const { return code_; }
+  const autograd::Variable& encoder_weight() const { return w_enc_; }
+  const autograd::Variable& decoder_weight() const { return w_dec_; }
+
+  /// Load codec weights (checkpoint restore).
+  void set_weights(const tensor::Tensor& enc, const tensor::Tensor& dec);
+
+ private:
+  int64_t hidden_;
+  int64_t code_;
+  autograd::Variable w_enc_;  // [h, c]
+  autograd::Variable w_dec_;  // [c, h]
+};
+
+}  // namespace actcomp::compress

@@ -1,0 +1,35 @@
+#include "compress/compressor.h"
+
+#include "autograd/functions.h"
+#include "tensor/check.h"
+
+namespace actcomp::compress {
+
+int64_t fp16_bytes(const tensor::Shape& shape) { return shape.numel() * 2; }
+
+tensor::Tensor Compressor::round_trip(const tensor::Tensor& x) {
+  return decode(encode(x));
+}
+
+autograd::Variable Compressor::apply(const autograd::Variable& x) {
+  tensor::Tensor out = round_trip(x.value());
+  // NOTE: the closure captures `this`; the compressor must outlive the tape
+  // (the Trainer owns compressors for the whole training run).
+  return autograd::custom_unary(
+      x, std::move(out),
+      [this](const tensor::Tensor& g, const tensor::Tensor& in) {
+        return vjp(g, in);
+      },
+      "compress:" + name());
+}
+
+tensor::Tensor Compressor::vjp(const tensor::Tensor& grad_out,
+                               const tensor::Tensor& input) const {
+  ACTCOMP_ASSERT(grad_out.shape() == input.shape(),
+                 "compressor vjp shape mismatch");
+  // Straight-through estimator: the paper's PyTorch integration backpropagates
+  // through the decompressed float tensor as if compression were identity.
+  return grad_out;
+}
+
+}  // namespace actcomp::compress

@@ -1,0 +1,77 @@
+#include "compress/hybrid.h"
+
+#include <sstream>
+
+#include "autograd/functions.h"
+#include "tensor/check.h"
+#include "tensor/ops.h"
+
+namespace actcomp::compress {
+
+namespace ts = actcomp::tensor;
+namespace ag = actcomp::autograd;
+
+HybridAeQuantCompressor::HybridAeQuantCompressor(int64_t hidden, int64_t code,
+                                                 int bits,
+                                                 tensor::Generator& gen)
+    : ae_(hidden, code, gen), quant_(bits) {}
+
+std::string HybridAeQuantCompressor::name() const {
+  std::ostringstream os;
+  os << "hybrid(c=" << ae_.code() << ',' << quant_.bits() << "b)";
+  return os.str();
+}
+
+ts::Shape HybridAeQuantCompressor::code_shape(const ts::Shape& in) const {
+  ACTCOMP_CHECK(in.dim(-1) == ae_.hidden(),
+                "hybrid expects last dim " << ae_.hidden() << ", got " << in.str());
+  return ts::Shape{in.numel() / ae_.hidden(), ae_.code()};
+}
+
+CompressedMessage HybridAeQuantCompressor::encode(const ts::Tensor& x) {
+  const int64_t rows = x.numel() / ae_.hidden();
+  const ts::Tensor code = ts::matmul2d(
+      x.reshape(ts::Shape{rows, ae_.hidden()}), ae_.encoder_weight().value());
+  CompressedMessage inner = quant_.encode(code);
+  CompressedMessage msg;
+  msg.shape_dims = x.shape().dims();
+  msg.body = std::move(inner.body);
+  return msg;
+}
+
+ts::Tensor HybridAeQuantCompressor::decode(const CompressedMessage& msg) const {
+  ts::Shape shape{msg.shape_dims};
+  CompressedMessage inner;
+  inner.shape_dims = code_shape(shape).dims();
+  inner.body = msg.body;
+  const ts::Tensor code = quant_.decode(inner);
+  return ts::matmul2d(code, ae_.decoder_weight().value()).reshape(shape);
+}
+
+ts::Tensor HybridAeQuantCompressor::round_trip(const ts::Tensor& x) {
+  const int64_t rows = x.numel() / ae_.hidden();
+  const ts::Tensor code = ts::matmul2d(
+      x.reshape(ts::Shape{rows, ae_.hidden()}), ae_.encoder_weight().value());
+  return ts::matmul2d(quant_.round_trip(code), ae_.decoder_weight().value())
+      .reshape(x.shape());
+}
+
+autograd::Variable HybridAeQuantCompressor::apply(const ag::Variable& x) {
+  ag::Variable code = ag::matmul(x, ae_.encoder_weight());
+  // Straight-through quantizer on the code.
+  code = ag::custom_unary(
+      code, quant_.round_trip(code.value()),
+      [](const ts::Tensor& g, const ts::Tensor&) { return g; },
+      "hybrid_quant_code");
+  return ag::matmul(code, ae_.decoder_weight());
+}
+
+WireFormat HybridAeQuantCompressor::wire_size(const ts::Shape& shape) const {
+  return quant_.wire_size(code_shape(shape));
+}
+
+std::vector<ag::Variable> HybridAeQuantCompressor::parameters() {
+  return ae_.parameters();
+}
+
+}  // namespace actcomp::compress

@@ -1,0 +1,31 @@
+#include "compress/identity.h"
+
+#include "compress/wire.h"
+#include "tensor/fp16.h"
+
+namespace actcomp::compress {
+
+CompressedMessage IdentityCompressor::encode(const tensor::Tensor& x) {
+  CompressedMessage msg;
+  msg.shape_dims = x.shape().dims();
+  msg.body.reserve(static_cast<size_t>(x.numel()) * 2);
+  wire::append_fp16(msg.body, x);
+  return msg;
+}
+
+tensor::Tensor IdentityCompressor::decode(const CompressedMessage& msg) const {
+  tensor::Shape shape{msg.shape_dims};
+  size_t off = 0;
+  std::vector<float> vals = wire::read_fp16(msg.body, off, shape.numel());
+  return tensor::Tensor(shape, std::move(vals));
+}
+
+tensor::Tensor IdentityCompressor::round_trip(const tensor::Tensor& x) {
+  return tensor::fp16_round(x);
+}
+
+WireFormat IdentityCompressor::wire_size(const tensor::Shape& shape) const {
+  return WireFormat{.payload_bytes = fp16_bytes(shape), .metadata_bytes = 0};
+}
+
+}  // namespace actcomp::compress

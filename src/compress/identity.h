@@ -1,0 +1,22 @@
+// IdentityCompressor: the paper's "w/o" baseline.
+//
+// Sends the raw fp16 activation. Exists so every experiment sweeps the same
+// code path with and without compression.
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace actcomp::compress {
+
+class IdentityCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "identity"; }
+  CompressedMessage encode(const tensor::Tensor& x) override;
+  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  tensor::Tensor round_trip(const tensor::Tensor& x) override;
+  autograd::Variable apply(const autograd::Variable& x) override { return x; }
+  WireFormat wire_size(const tensor::Shape& shape) const override;
+  bool allreduce_compatible() const override { return true; }
+};
+
+}  // namespace actcomp::compress

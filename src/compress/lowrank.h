@@ -1,0 +1,55 @@
+// Low-rank (PowerSGD-style) compression — implemented to DEMONSTRATE the
+// paper's negative result, not to use.
+//
+// The paper's §2.2/Fig. 2 argument for excluding low-rank compressors from
+// the study is that activation matrices, unlike gradient matrices, are not
+// low-rank, so a rank-r factorization X ≈ P·Qᵀ destroys activations at any
+// budget where it would be competitive. This class implements the
+// single-round subspace (power) iteration of PowerSGD (Vogels et al. 2019)
+// over an activation-shaped matrix so bench/ablation_lowrank can measure
+// that claim directly: at equal wire budget, the low-rank reconstruction
+// error on activations is far worse than the AE's after training (and than
+// quantization's always), while on gradient-like matrices it excels.
+//
+// Wire format: P [rows x r] and Q [cols x r] as fp16 -> (rows + cols)·r·2
+// bytes per message.
+#pragma once
+
+#include "compress/compressor.h"
+#include "tensor/random.h"
+
+namespace actcomp::compress {
+
+class LowRankCompressor final : public Compressor {
+ public:
+  /// `rank`: factorization rank r; `power_iterations`: extra subspace
+  /// iterations (PowerSGD uses 1 round total; more rounds tighten the
+  /// approximation at extra encode cost).
+  LowRankCompressor(int64_t rank, uint64_t seed, int power_iterations = 1);
+
+  std::string name() const override;
+  CompressedMessage encode(const tensor::Tensor& x) override;
+  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  tensor::Tensor round_trip(const tensor::Tensor& x) override;
+  WireFormat wire_size(const tensor::Shape& shape) const override;
+  /// P/Q factors of different ranks cannot be summed elementwise.
+  bool allreduce_compatible() const override { return false; }
+
+  int64_t rank() const { return rank_; }
+
+  /// Rank giving the same wire budget as `target_bytes` on `shape`.
+  static int64_t rank_for_budget(const tensor::Shape& shape, int64_t target_bytes);
+
+ private:
+  struct Factors {
+    tensor::Tensor p;  // [rows, r]
+    tensor::Tensor q;  // [cols, r]
+  };
+  Factors factorize(const tensor::Tensor& x2d);
+
+  int64_t rank_;
+  int power_iterations_;
+  tensor::Generator gen_;
+};
+
+}  // namespace actcomp::compress

@@ -1,0 +1,150 @@
+#include "compress/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "compress/wire.h"
+#include "tensor/check.h"
+#include "tensor/fp16.h"
+
+namespace actcomp::compress {
+
+namespace {
+// Rows = product of all dims but the last; a rank-1 tensor is one row.
+std::pair<int64_t, int64_t> rows_cols(const tensor::Shape& s) {
+  ACTCOMP_CHECK(s.rank() >= 1, "cannot quantize a scalar shape");
+  const int64_t cols = s.dim(-1);
+  return {cols == 0 ? 0 : s.numel() / cols, cols};
+}
+}  // namespace
+
+QuantizeCompressor::QuantizeCompressor(int bits)
+    : bits_(bits), levels_(1 << bits) {
+  ACTCOMP_CHECK(bits >= 1 && bits <= 8, "quantize bits must be in [1, 8], got " << bits);
+}
+
+std::string QuantizeCompressor::name() const {
+  std::ostringstream os;
+  os << "quant(" << bits_ << "b)";
+  return os.str();
+}
+
+QuantizeCompressor::RowParams QuantizeCompressor::row_params(const float* row,
+                                                             int64_t cols) const {
+  float lo = row[0], hi = row[0];
+  for (int64_t c = 1; c < cols; ++c) {
+    lo = std::min(lo, row[c]);
+    hi = std::max(hi, row[c]);
+  }
+  // Round the affine params through fp16 — that is what travels on the wire —
+  // so round_trip matches decode(encode(x)) bit-for-bit.
+  lo = tensor::fp16_bits_to_fp32(tensor::fp32_to_fp16_bits(lo));
+  hi = tensor::fp16_bits_to_fp32(tensor::fp32_to_fp16_bits(hi));
+  float scale = hi > lo ? (hi - lo) / static_cast<float>(levels_ - 1) : 0.0f;
+  scale = tensor::fp16_bits_to_fp32(tensor::fp32_to_fp16_bits(scale));
+  return {lo, scale};
+}
+
+CompressedMessage QuantizeCompressor::encode(const tensor::Tensor& x) {
+  const auto [rows, cols] = rows_cols(x.shape());
+  CompressedMessage msg;
+  msg.shape_dims = x.shape().dims();
+  const int64_t payload = (x.numel() * bits_ + 7) / 8;
+  msg.body.reserve(static_cast<size_t>(payload + rows * 4));
+
+  const auto d = x.data();
+  // Header: per-row (lo, scale) as fp16.
+  std::vector<RowParams> params(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    params[static_cast<size_t>(r)] = row_params(d.data() + r * cols, cols);
+    wire::append_pod<uint16_t>(
+        msg.body, tensor::fp32_to_fp16_bits(params[static_cast<size_t>(r)].lo));
+    wire::append_pod<uint16_t>(
+        msg.body, tensor::fp32_to_fp16_bits(params[static_cast<size_t>(r)].scale));
+  }
+  // Payload: bit-packed codes, little-endian within each byte.
+  uint32_t acc = 0;
+  int acc_bits = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const RowParams& p = params[static_cast<size_t>(r)];
+    for (int64_t c = 0; c < cols; ++c) {
+      uint32_t q = 0;
+      if (p.scale > 0.0f) {
+        const float normalized = (d[static_cast<size_t>(r * cols + c)] - p.lo) / p.scale;
+        q = static_cast<uint32_t>(std::clamp(
+            std::lround(normalized), 0l, static_cast<long>(levels_ - 1)));
+      }
+      acc |= q << acc_bits;
+      acc_bits += bits_;
+      while (acc_bits >= 8) {
+        wire::append_pod<uint8_t>(msg.body, static_cast<uint8_t>(acc & 0xFFu));
+        acc >>= 8;
+        acc_bits -= 8;
+      }
+    }
+  }
+  if (acc_bits > 0) wire::append_pod<uint8_t>(msg.body, static_cast<uint8_t>(acc & 0xFFu));
+  return msg;
+}
+
+tensor::Tensor QuantizeCompressor::decode(const CompressedMessage& msg) const {
+  tensor::Shape shape{msg.shape_dims};
+  const auto [rows, cols] = rows_cols(shape);
+  tensor::Tensor out{shape};
+  auto d = out.data();
+  size_t off = 0;
+  std::vector<RowParams> params(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float lo = tensor::fp16_bits_to_fp32(wire::read_pod<uint16_t>(msg.body, off));
+    const float scale = tensor::fp16_bits_to_fp32(wire::read_pod<uint16_t>(msg.body, off));
+    params[static_cast<size_t>(r)] = {lo, scale};
+  }
+  uint32_t acc = 0;
+  int acc_bits = 0;
+  const uint32_t mask = static_cast<uint32_t>(levels_ - 1);
+  for (int64_t r = 0; r < rows; ++r) {
+    const RowParams& p = params[static_cast<size_t>(r)];
+    for (int64_t c = 0; c < cols; ++c) {
+      while (acc_bits < bits_) {
+        acc |= static_cast<uint32_t>(wire::read_pod<uint8_t>(msg.body, off)) << acc_bits;
+        acc_bits += 8;
+      }
+      const uint32_t q = acc & mask;
+      acc >>= bits_;
+      acc_bits -= bits_;
+      d[static_cast<size_t>(r * cols + c)] = p.lo + static_cast<float>(q) * p.scale;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor QuantizeCompressor::round_trip(const tensor::Tensor& x) {
+  const auto [rows, cols] = rows_cols(x.shape());
+  tensor::Tensor out{x.shape()};
+  const auto din = x.data();
+  auto dout = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const RowParams p = row_params(din.data() + r * cols, cols);
+    for (int64_t c = 0; c < cols; ++c) {
+      const size_t i = static_cast<size_t>(r * cols + c);
+      if (p.scale <= 0.0f) {
+        dout[i] = p.lo;
+      } else {
+        const long q = std::clamp(std::lround((din[i] - p.lo) / p.scale), 0l,
+                                  static_cast<long>(levels_ - 1));
+        dout[i] = p.lo + static_cast<float>(q) * p.scale;
+      }
+    }
+  }
+  return out;
+}
+
+WireFormat QuantizeCompressor::wire_size(const tensor::Shape& shape) const {
+  const auto [rows, cols] = rows_cols(shape);
+  (void)cols;
+  return WireFormat{.payload_bytes = (shape.numel() * bits_ + 7) / 8,
+                    .metadata_bytes = rows * 4};
+}
+
+}  // namespace actcomp::compress

@@ -1,0 +1,40 @@
+// Uniform quantization (paper §3.1, settings Q1/Q2/Q3 — 2/4/8 bits).
+//
+// Follows the scheme of Wang et al. 2022 ("Fine-tuning language models over
+// slow networks using activation compression with guarantees"), which the
+// paper reuses: per-row (last-dimension) min–max affine quantization,
+// bit-packed payload, fp16 (min, scale) per row on the wire. Backward is
+// straight-through — as the paper notes (§3.3), the PyTorch engine only
+// differentiates through the decompressed float tensor.
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace actcomp::compress {
+
+class QuantizeCompressor final : public Compressor {
+ public:
+  /// `bits` in {1..8}.
+  explicit QuantizeCompressor(int bits);
+
+  std::string name() const override;
+  CompressedMessage encode(const tensor::Tensor& x) override;
+  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  tensor::Tensor round_trip(const tensor::Tensor& x) override;
+  WireFormat wire_size(const tensor::Shape& shape) const override;
+  bool allreduce_compatible() const override { return false; }
+
+  int bits() const { return bits_; }
+
+ private:
+  struct RowParams {
+    float lo;
+    float scale;  // (hi - lo) / (levels - 1), 0 for constant rows
+  };
+  RowParams row_params(const float* row, int64_t cols) const;
+
+  int bits_;
+  int levels_;
+};
+
+}  // namespace actcomp::compress

@@ -1,0 +1,95 @@
+#include "compress/randomk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "autograd/functions.h"
+#include "compress/wire.h"
+#include "tensor/check.h"
+#include "tensor/fp16.h"
+#include "tensor/ops.h"
+
+namespace actcomp::compress {
+
+RandomKCompressor::RandomKCompressor(double fraction, uint64_t seed)
+    : fraction_(fraction), gen_(seed) {
+  ACTCOMP_CHECK(fraction > 0.0 && fraction <= 1.0,
+                "random-k fraction must be in (0, 1], got " << fraction);
+}
+
+std::string RandomKCompressor::name() const {
+  std::ostringstream os;
+  os << "randk(f=" << fraction_ << ')';
+  return os.str();
+}
+
+int64_t RandomKCompressor::k_for(int64_t numel) const {
+  if (numel == 0) return 0;
+  const auto k = static_cast<int64_t>(
+      std::llround(fraction_ * static_cast<double>(numel)));
+  return std::clamp<int64_t>(k, 1, numel);
+}
+
+CompressedMessage RandomKCompressor::encode(const tensor::Tensor& x) {
+  const int64_t n = x.numel();
+  std::vector<int64_t> kept = gen_.sample_without_replacement(n, k_for(n));
+  std::sort(kept.begin(), kept.end());
+  CompressedMessage msg;
+  msg.shape_dims = x.shape().dims();
+  msg.body.reserve(kept.size() * 6);
+  const auto d = x.data();
+  for (int64_t i : kept) wire::append_pod<int32_t>(msg.body, static_cast<int32_t>(i));
+  for (int64_t i : kept) {
+    wire::append_pod<uint16_t>(
+        msg.body, tensor::fp32_to_fp16_bits(d[static_cast<size_t>(i)]));
+  }
+  return msg;
+}
+
+tensor::Tensor RandomKCompressor::decode(const CompressedMessage& msg) const {
+  tensor::Shape shape{msg.shape_dims};
+  const int64_t k = k_for(shape.numel());
+  tensor::Tensor out{shape};
+  auto d = out.data();
+  size_t off = 0;
+  std::vector<int32_t> idx(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = wire::read_pod<int32_t>(msg.body, off);
+  for (int64_t i = 0; i < k; ++i) {
+    const float v = tensor::fp16_bits_to_fp32(wire::read_pod<uint16_t>(msg.body, off));
+    const int32_t j = idx[static_cast<size_t>(i)];
+    ACTCOMP_CHECK(j >= 0 && j < shape.numel(), "random-k index out of range on wire");
+    d[static_cast<size_t>(j)] = v;
+  }
+  return out;
+}
+
+autograd::Variable RandomKCompressor::apply(const autograd::Variable& x) {
+  const tensor::Tensor& xv = x.value();
+  const int64_t n = xv.numel();
+  const std::vector<int64_t> kept = gen_.sample_without_replacement(n, k_for(n));
+
+  tensor::Tensor out{xv.shape()};
+  tensor::Tensor mask{xv.shape()};
+  const auto din = xv.data();
+  auto dout = out.data();
+  auto dm = mask.data();
+  for (int64_t i : kept) {
+    dout[static_cast<size_t>(i)] = tensor::fp16_bits_to_fp32(
+        tensor::fp32_to_fp16_bits(din[static_cast<size_t>(i)]));
+    dm[static_cast<size_t>(i)] = 1.0f;
+  }
+  return autograd::custom_unary(
+      x, std::move(out),
+      [mask](const tensor::Tensor& g, const tensor::Tensor&) {
+        return tensor::mul(g, mask);
+      },
+      "compress:" + name());
+}
+
+WireFormat RandomKCompressor::wire_size(const tensor::Shape& shape) const {
+  const int64_t k = k_for(shape.numel());
+  return WireFormat{.payload_bytes = k * 2, .metadata_bytes = k * 4};
+}
+
+}  // namespace actcomp::compress

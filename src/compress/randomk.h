@@ -1,0 +1,37 @@
+// Random-K sparsification (paper §3.1, settings R1–R4).
+//
+// Keeps a uniformly random `fraction` of the elements. The paper implemented
+// selection with Python's random.sample, whose host-side cost is what makes
+// R1–R4 catastrophically slow in their Tables 2/4/6/7 — our simulator's cost
+// model reproduces that (see sim/overhead_model), while this class implements
+// the algorithm itself efficiently.
+//
+// Because apply() must backprop through the *same* random mask the forward
+// drew, apply() is overridden to capture the mask instead of re-deriving it.
+#pragma once
+
+#include "compress/compressor.h"
+#include "tensor/random.h"
+
+namespace actcomp::compress {
+
+class RandomKCompressor final : public Compressor {
+ public:
+  RandomKCompressor(double fraction, uint64_t seed);
+
+  std::string name() const override;
+  CompressedMessage encode(const tensor::Tensor& x) override;
+  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  autograd::Variable apply(const autograd::Variable& x) override;
+  WireFormat wire_size(const tensor::Shape& shape) const override;
+  bool allreduce_compatible() const override { return false; }
+
+  double fraction() const { return fraction_; }
+  int64_t k_for(int64_t numel) const;
+
+ private:
+  double fraction_;
+  tensor::Generator gen_;
+};
+
+}  // namespace actcomp::compress

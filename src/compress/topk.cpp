@@ -1,0 +1,110 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "compress/wire.h"
+#include "tensor/check.h"
+#include "tensor/fp16.h"
+
+namespace actcomp::compress {
+
+TopKCompressor::TopKCompressor(double fraction) : fraction_(fraction) {
+  ACTCOMP_CHECK(fraction > 0.0 && fraction <= 1.0,
+                "top-k fraction must be in (0, 1], got " << fraction);
+}
+
+std::string TopKCompressor::name() const {
+  std::ostringstream os;
+  os << "topk(f=" << fraction_ << ')';
+  return os.str();
+}
+
+int64_t TopKCompressor::k_for(int64_t numel) const {
+  if (numel == 0) return 0;
+  const auto k = static_cast<int64_t>(
+      std::llround(fraction_ * static_cast<double>(numel)));
+  return std::clamp<int64_t>(k, 1, numel);
+}
+
+std::vector<int64_t> TopKCompressor::select(const tensor::Tensor& x) const {
+  const int64_t n = x.numel();
+  const int64_t k = k_for(n);
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  const auto d = x.data();
+  // nth_element + sort of the head: O(n + k log k), matching a device topk.
+  std::nth_element(idx.begin(), idx.begin() + k, idx.end(),
+                   [&](int64_t a, int64_t b) {
+                     const float fa = std::fabs(d[static_cast<size_t>(a)]);
+                     const float fb = std::fabs(d[static_cast<size_t>(b)]);
+                     if (fa != fb) return fa > fb;
+                     return a < b;
+                   });
+  idx.resize(static_cast<size_t>(k));
+  std::sort(idx.begin(), idx.end());  // ascending index order on the wire
+  return idx;
+}
+
+CompressedMessage TopKCompressor::encode(const tensor::Tensor& x) {
+  const std::vector<int64_t> kept = select(x);
+  CompressedMessage msg;
+  msg.shape_dims = x.shape().dims();
+  msg.body.reserve(kept.size() * 6);
+  const auto d = x.data();
+  for (int64_t i : kept) wire::append_pod<int32_t>(msg.body, static_cast<int32_t>(i));
+  for (int64_t i : kept) {
+    wire::append_pod<uint16_t>(
+        msg.body, tensor::fp32_to_fp16_bits(d[static_cast<size_t>(i)]));
+  }
+  return msg;
+}
+
+tensor::Tensor TopKCompressor::decode(const CompressedMessage& msg) const {
+  tensor::Shape shape{msg.shape_dims};
+  const int64_t k = k_for(shape.numel());
+  tensor::Tensor out{shape};
+  auto d = out.data();
+  size_t off = 0;
+  std::vector<int32_t> idx(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = wire::read_pod<int32_t>(msg.body, off);
+  for (int64_t i = 0; i < k; ++i) {
+    const float v = tensor::fp16_bits_to_fp32(wire::read_pod<uint16_t>(msg.body, off));
+    const int32_t j = idx[static_cast<size_t>(i)];
+    ACTCOMP_CHECK(j >= 0 && j < shape.numel(), "top-k index out of range on wire");
+    d[static_cast<size_t>(j)] = v;
+  }
+  return out;
+}
+
+tensor::Tensor TopKCompressor::round_trip(const tensor::Tensor& x) {
+  tensor::Tensor out{x.shape()};
+  const auto din = x.data();
+  auto dout = out.data();
+  for (int64_t i : select(x)) {
+    // fp16 on the wire, so round kept values through fp16 too.
+    dout[static_cast<size_t>(i)] = tensor::fp16_bits_to_fp32(
+        tensor::fp32_to_fp16_bits(din[static_cast<size_t>(i)]));
+  }
+  return out;
+}
+
+WireFormat TopKCompressor::wire_size(const tensor::Shape& shape) const {
+  const int64_t k = k_for(shape.numel());
+  return WireFormat{.payload_bytes = k * 2, .metadata_bytes = k * 4};
+}
+
+tensor::Tensor TopKCompressor::vjp(const tensor::Tensor& grad_out,
+                                   const tensor::Tensor& input) const {
+  tensor::Tensor g{grad_out.shape()};
+  const auto dg = grad_out.data();
+  auto dout = g.data();
+  for (int64_t i : select(input)) {
+    dout[static_cast<size_t>(i)] = dg[static_cast<size_t>(i)];
+  }
+  return g;
+}
+
+}  // namespace actcomp::compress

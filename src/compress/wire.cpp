@@ -1,0 +1,19 @@
+#include "compress/wire.h"
+
+namespace actcomp::compress::wire {
+
+void append_fp16(std::vector<std::byte>& buf, const tensor::Tensor& t) {
+  for (float v : t.data()) append_pod<uint16_t>(buf, tensor::fp32_to_fp16_bits(v));
+}
+
+std::vector<float> read_fp16(const std::vector<std::byte>& buf, size_t& off,
+                             int64_t n) {
+  std::vector<float> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] =
+        tensor::fp16_bits_to_fp32(read_pod<uint16_t>(buf, off));
+  }
+  return out;
+}
+
+}  // namespace actcomp::compress::wire

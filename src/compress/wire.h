@@ -1,0 +1,38 @@
+// Byte-level helpers shared by the wire formats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/fp16.h"
+#include "tensor/tensor.h"
+
+namespace actcomp::compress::wire {
+
+template <typename T>
+void append_pod(std::vector<std::byte>& buf, T v) {
+  const size_t off = buf.size();
+  buf.resize(off + sizeof(T));
+  std::memcpy(buf.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::vector<std::byte>& buf, size_t& off) {
+  ACTCOMP_CHECK(off + sizeof(T) <= buf.size(), "truncated wire message");
+  T v{};
+  std::memcpy(&v, buf.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+/// Append every element of `t` as IEEE fp16.
+void append_fp16(std::vector<std::byte>& buf, const tensor::Tensor& t);
+
+/// Read `n` fp16 values starting at `off` into fp32.
+std::vector<float> read_fp16(const std::vector<std::byte>& buf, size_t& off,
+                             int64_t n);
+
+}  // namespace actcomp::compress::wire

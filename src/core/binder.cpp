@@ -1,0 +1,86 @@
+#include "core/binder.h"
+
+#include "compress/error_feedback.h"
+#include "tensor/check.h"
+
+namespace actcomp::core {
+
+std::vector<int64_t> pipeline_boundaries(int64_t total_layers, int64_t pp_degree) {
+  ACTCOMP_CHECK(pp_degree >= 1 && total_layers >= pp_degree,
+                "cannot split " << total_layers << " layers into " << pp_degree
+                                << " stages");
+  std::vector<int64_t> out;
+  const int64_t per_stage = total_layers / pp_degree;
+  const int64_t remainder = total_layers % pp_degree;
+  int64_t layer = -1;
+  for (int64_t s = 0; s + 1 < pp_degree; ++s) {
+    layer += per_stage + (s < remainder ? 1 : 0);
+    out.push_back(layer);
+  }
+  return out;
+}
+
+compress::CompressorPtr CompressionBinder::make(tensor::Generator& gen,
+                                                bool error_feedback) {
+  compress::CompressorPtr c =
+      compress::make_compressor(plan_.setting, model_.config().hidden, gen);
+  if (error_feedback) {
+    c = std::make_unique<compress::ErrorFeedbackCompressor>(std::move(c));
+  }
+  return c;
+}
+
+CompressionBinder::CompressionBinder(nn::BertModel& model,
+                                     const CompressionPlan& plan,
+                                     int64_t pp_degree, tensor::Generator& gen,
+                                     bool error_feedback)
+    : model_(model), plan_(plan) {
+  ACTCOMP_CHECK(plan.first_layer + plan.count <= model.num_layers(),
+                "plan window [" << plan.first_layer << ", "
+                                << plan.first_layer + plan.count
+                                << ") exceeds model depth " << model.num_layers());
+  if (plan.setting == compress::Setting::kBaseline) return;
+
+  for (int64_t i = plan.first_layer; i < plan.first_layer + plan.count; ++i) {
+    owned_.push_back(make(gen, error_feedback));
+    compress::Compressor* attn = owned_.back().get();
+    owned_.push_back(make(gen, error_feedback));
+    compress::Compressor* mlp = owned_.back().get();
+    model_.set_layer_compression(i, attn, mlp);
+  }
+  for (int64_t b : pipeline_boundaries(model.num_layers(), pp_degree)) {
+    if (!plan.compresses(b)) continue;
+    owned_.push_back(make(gen, error_feedback));
+    model_.set_boundary_compression(b, owned_.back().get());
+    boundary_layers_.push_back(b);
+  }
+}
+
+CompressionBinder::~CompressionBinder() {
+  for (int64_t i = plan_.first_layer; i < plan_.first_layer + plan_.count; ++i) {
+    if (i < model_.num_layers()) model_.set_layer_compression(i, nullptr, nullptr);
+  }
+  for (int64_t b : boundary_layers_) model_.set_boundary_compression(b, nullptr);
+}
+
+std::vector<autograd::Variable> CompressionBinder::codec_parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& c : owned_) {
+    for (auto& p : c->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<nn::NamedParam> CompressionBinder::named_codec_parameters() const {
+  std::vector<nn::NamedParam> out;
+  for (size_t i = 0; i < owned_.size(); ++i) {
+    auto params = owned_[i]->parameters();
+    for (size_t j = 0; j < params.size(); ++j) {
+      out.emplace_back("codec" + std::to_string(i) + ".param" + std::to_string(j),
+                       params[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace actcomp::core

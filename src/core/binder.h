@@ -1,0 +1,62 @@
+// CompressionBinder: instantiate a CompressionPlan on a real BertModel.
+//
+// For every compressed layer it creates *independent* compressor instances
+// for the two tensor-parallel communication points (the paper keeps one
+// learnable codec per layer), and for every pipeline-stage boundary that
+// falls inside the compressed window it creates a boundary compressor
+// (Fig. 3's inter-stage C/DC pair). The binder owns the compressors and
+// detaches them from the model on destruction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "core/compression_plan.h"
+#include "nn/bert.h"
+#include "tensor/random.h"
+
+namespace actcomp::core {
+
+class CompressionBinder {
+ public:
+  /// `pp_degree` determines where pipeline-stage boundaries fall (layers are
+  /// split into pp_degree equal stages, Megatron's balanced assignment).
+  CompressionBinder(nn::BertModel& model, const CompressionPlan& plan,
+                    int64_t pp_degree, tensor::Generator& gen,
+                    bool error_feedback = false);
+  ~CompressionBinder();
+
+  CompressionBinder(const CompressionBinder&) = delete;
+  CompressionBinder& operator=(const CompressionBinder&) = delete;
+
+  const CompressionPlan& plan() const { return plan_; }
+
+  /// Trainable codec parameters (non-empty only for AE settings); the
+  /// trainer adds these to the optimizer.
+  std::vector<autograd::Variable> codec_parameters() const;
+
+  /// Codec parameters as named tensors (for checkpointing them separately
+  /// from the model, so fine-tuning can drop them — Takeaway 5).
+  std::vector<nn::NamedParam> named_codec_parameters() const;
+
+  /// Number of compressor instances created (TP points + PP boundaries).
+  int64_t num_compression_points() const {
+    return static_cast<int64_t>(owned_.size());
+  }
+
+ private:
+  compress::CompressorPtr make(tensor::Generator& gen, bool error_feedback);
+
+  nn::BertModel& model_;
+  CompressionPlan plan_;
+  std::vector<compress::CompressorPtr> owned_;
+  std::vector<int64_t> boundary_layers_;
+};
+
+/// Layer indices after which a pipeline-stage boundary sits, for `total`
+/// layers split into `pp_degree` balanced stages (e.g. 24 layers, pp=4 ->
+/// boundaries after layers 5, 11, 17).
+std::vector<int64_t> pipeline_boundaries(int64_t total_layers, int64_t pp_degree);
+
+}  // namespace actcomp::core

@@ -1,0 +1,28 @@
+#include "core/compression_plan.h"
+
+#include "tensor/check.h"
+
+namespace actcomp::core {
+
+CompressionPlan CompressionPlan::last_n(compress::Setting s, int64_t total,
+                                        int64_t n) {
+  ACTCOMP_CHECK(n >= 0 && n <= total,
+                "cannot compress " << n << " of " << total << " layers");
+  return {s, total - n, n};
+}
+
+CompressionPlan CompressionPlan::paper_default(compress::Setting s, int64_t total) {
+  return last_n(s, total, total / 2);
+}
+
+CompressionPlan CompressionPlan::window(compress::Setting s, int64_t first,
+                                        int64_t n) {
+  ACTCOMP_CHECK(first >= 0 && n >= 0, "invalid compression window");
+  return {s, first, n};
+}
+
+CompressionPlan CompressionPlan::none() {
+  return {compress::Setting::kBaseline, 0, 0};
+}
+
+}  // namespace actcomp::core

@@ -1,0 +1,93 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/vocab.h"
+#include "tensor/check.h"
+
+namespace actcomp::data {
+
+TaskDataset::TaskDataset(TaskId task, std::vector<Example> examples,
+                         int64_t max_seq)
+    : task_(task), examples_(std::move(examples)), max_seq_(max_seq) {
+  ACTCOMP_CHECK(max_seq >= 8, "max_seq must be >= 8, got " << max_seq);
+  order_.resize(examples_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+LabeledBatch TaskDataset::batch(int64_t begin, int64_t end) const {
+  begin = std::clamp<int64_t>(begin, 0, size());
+  end = std::clamp<int64_t>(end, begin, size());
+  const int64_t b = end - begin;
+  ACTCOMP_CHECK(b > 0, "empty batch [" << begin << ", " << end << ")");
+
+  LabeledBatch out;
+  out.input.batch = b;
+  out.input.seq = max_seq_;
+  out.input.token_ids.assign(static_cast<size_t>(b * max_seq_), Vocab::kPad);
+  out.input.segment_ids.assign(static_cast<size_t>(b * max_seq_), 0);
+  out.input.lengths.resize(static_cast<size_t>(b));
+
+  for (int64_t i = 0; i < b; ++i) {
+    const Example& e = examples_[static_cast<size_t>(order_[static_cast<size_t>(begin + i)])];
+    auto* ids = out.input.token_ids.data() + i * max_seq_;
+    auto* segs = out.input.segment_ids.data() + i * max_seq_;
+    int64_t pos = 0;
+    ids[pos++] = Vocab::kCls;
+    // Reserve room: if there is a second sentence it gets at least 1/3 of
+    // the budget; both sentences are truncated to fit two [SEP]s.
+    const bool paired = !e.tokens_b.empty();
+    const int64_t budget = max_seq_ - (paired ? 3 : 2);
+    const int64_t a_budget =
+        paired ? std::min<int64_t>(static_cast<int64_t>(e.tokens_a.size()),
+                                   budget - budget / 3)
+               : budget;
+    for (int64_t j = 0; j < a_budget && j < static_cast<int64_t>(e.tokens_a.size());
+         ++j) {
+      ids[pos++] = e.tokens_a[static_cast<size_t>(j)];
+    }
+    ids[pos++] = Vocab::kSep;
+    if (paired) {
+      const int64_t b_budget = max_seq_ - pos - 1;
+      for (int64_t j = 0;
+           j < b_budget && j < static_cast<int64_t>(e.tokens_b.size()); ++j) {
+        segs[pos] = 1;
+        ids[pos++] = e.tokens_b[static_cast<size_t>(j)];
+      }
+      segs[pos] = 1;
+      ids[pos++] = Vocab::kSep;
+    }
+    out.input.lengths[static_cast<size_t>(i)] = pos;
+    out.class_labels.push_back(e.label_class);
+    out.value_labels.push_back(e.label_value);
+  }
+  return out;
+}
+
+std::vector<LabeledBatch> TaskDataset::epoch_batches(
+    int64_t batch_size, tensor::Generator* shuffle_gen) const {
+  ACTCOMP_CHECK(batch_size > 0, "batch_size must be positive");
+  if (shuffle_gen != nullptr) {
+    for (size_t i = order_.size(); i > 1; --i) {
+      std::swap(order_[i - 1],
+                order_[static_cast<size_t>(
+                    shuffle_gen->randint(0, static_cast<int64_t>(i) - 1))]);
+    }
+  }
+  std::vector<LabeledBatch> out;
+  for (int64_t begin = 0; begin < size(); begin += batch_size) {
+    out.push_back(batch(begin, begin + batch_size));
+  }
+  return out;
+}
+
+TaskDataset make_task_dataset(TaskId task, int64_t count, int64_t max_seq,
+                              tensor::Generator& gen) {
+  // Sentence budget: leave room for [CLS]/[SEP]s; paired tasks split it.
+  const int64_t sentence_len = std::max<int64_t>(6, (max_seq - 3) / 2);
+  return TaskDataset(task, generate_examples(task, count, sentence_len, gen),
+                     max_seq);
+}
+
+}  // namespace actcomp::data

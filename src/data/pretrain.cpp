@@ -1,0 +1,80 @@
+#include "data/pretrain.h"
+
+#include "data/vocab.h"
+#include "tensor/check.h"
+
+namespace actcomp::data {
+
+PretrainCorpus::PretrainCorpus(int64_t num_docs, int64_t doc_len,
+                               tensor::Generator& gen) {
+  ACTCOMP_CHECK(num_docs > 0 && doc_len >= 16, "corpus too small");
+  docs_.reserve(static_cast<size_t>(num_docs));
+  for (int64_t d = 0; d < num_docs; ++d) {
+    std::vector<int64_t> doc;
+    doc.reserve(static_cast<size_t>(doc_len));
+    int64_t topic = gen.randint(0, Vocab::kNumTopics - 1);
+    while (static_cast<int64_t>(doc.size()) < doc_len) {
+      // A topic-coherent "sentence" of 5–15 words.
+      const int64_t run = gen.randint(5, 15);
+      for (int64_t i = 0; i < run && static_cast<int64_t>(doc.size()) < doc_len;
+           ++i) {
+        const double r = gen.rand_float();
+        if (r < 0.80) {
+          doc.push_back(Vocab::topic_word(topic, gen.randint(0, Vocab::kTopicWords - 1)));
+        } else if (r < 0.90) {
+          doc.push_back(gen.randint(Vocab::kPositiveBegin, Vocab::kNegativeEnd - 1));
+        } else {
+          doc.push_back(gen.randint(Vocab::kFillerBegin, Vocab::kFillerEnd - 1));
+        }
+      }
+      if (gen.bernoulli(0.25)) topic = gen.randint(0, Vocab::kNumTopics - 1);
+    }
+    docs_.push_back(std::move(doc));
+  }
+}
+
+const std::vector<int64_t>& PretrainCorpus::doc(int64_t i) const {
+  ACTCOMP_CHECK(i >= 0 && i < num_docs(), "doc index out of range");
+  return docs_[static_cast<size_t>(i)];
+}
+
+MlmBatch PretrainCorpus::sample_mlm_batch(int64_t batch, int64_t seq,
+                                          tensor::Generator& gen,
+                                          double mask_prob) const {
+  ACTCOMP_CHECK(batch > 0 && seq >= 8, "bad MLM batch request");
+  MlmBatch out;
+  out.input.batch = batch;
+  out.input.seq = seq;
+  out.input.token_ids.assign(static_cast<size_t>(batch * seq), Vocab::kPad);
+  out.input.segment_ids.assign(static_cast<size_t>(batch * seq), 0);
+  out.input.lengths.assign(static_cast<size_t>(batch), seq);
+  out.labels.assign(static_cast<size_t>(batch * seq), MlmBatch::kIgnore);
+
+  for (int64_t b = 0; b < batch; ++b) {
+    const auto& doc = docs_[static_cast<size_t>(gen.randint(0, num_docs() - 1))];
+    const int64_t body = seq - 1;  // position 0 is [CLS]
+    const int64_t max_start =
+        std::max<int64_t>(0, static_cast<int64_t>(doc.size()) - body);
+    const int64_t start = gen.randint(0, max_start);
+    auto* ids = out.input.token_ids.data() + b * seq;
+    auto* labels = out.labels.data() + b * seq;
+    ids[0] = Vocab::kCls;
+    for (int64_t i = 0; i < body && start + i < static_cast<int64_t>(doc.size());
+         ++i) {
+      const int64_t original = doc[static_cast<size_t>(start + i)];
+      ids[1 + i] = original;
+      if (gen.bernoulli(mask_prob)) {
+        labels[1 + i] = original;
+        const double r = gen.rand_float();
+        if (r < 0.8) {
+          ids[1 + i] = Vocab::kMask;
+        } else if (r < 0.9) {
+          ids[1 + i] = gen.randint(Vocab::kPositiveBegin, Vocab::kSize - 1);
+        }  // else keep the original token
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace actcomp::data

@@ -1,0 +1,43 @@
+// Synthetic pre-training corpus + BERT-style MLM masking.
+//
+// Substitutes for the paper's Wikipedia + BooksCorpus (unavailable offline):
+// documents are streams of topic-coherent token runs, so masked-token
+// prediction teaches the encoder the same topical structure the fine-tuning
+// tasks rely on — pre-training measurably helps downstream accuracy, which
+// is the property Table 8 exercises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/bert.h"
+#include "tensor/random.h"
+
+namespace actcomp::data {
+
+struct MlmBatch {
+  nn::EncoderInput input;
+  /// Per-position original token id, or kIgnore at unmasked positions.
+  std::vector<int64_t> labels;
+  static constexpr int64_t kIgnore = -100;
+};
+
+class PretrainCorpus {
+ public:
+  /// `doc_len` tokens per document, `num_docs` documents.
+  PretrainCorpus(int64_t num_docs, int64_t doc_len, tensor::Generator& gen);
+
+  int64_t num_docs() const { return static_cast<int64_t>(docs_.size()); }
+  const std::vector<int64_t>& doc(int64_t i) const;
+
+  /// Sample a batch of `seq`-length windows and apply BERT masking: 15% of
+  /// content positions are selected; of those 80% -> [MASK], 10% -> random
+  /// token, 10% kept.
+  MlmBatch sample_mlm_batch(int64_t batch, int64_t seq, tensor::Generator& gen,
+                            double mask_prob = 0.15) const;
+
+ private:
+  std::vector<std::vector<int64_t>> docs_;
+};
+
+}  // namespace actcomp::data

@@ -1,0 +1,265 @@
+#include "data/tasks.h"
+
+#include <algorithm>
+
+#include "data/vocab.h"
+#include "tensor/check.h"
+
+namespace actcomp::data {
+
+const std::vector<TaskInfo>& all_tasks() {
+  static const std::vector<TaskInfo> kTasks = {
+      {TaskId::kMnliM, "MNLI-m", 3, MetricKind::kAccuracy, 2400, 400},
+      {TaskId::kMnliMM, "MNLI-mm", 3, MetricKind::kAccuracy, 2400, 400},
+      {TaskId::kQqp, "QQP", 2, MetricKind::kF1, 2400, 400},
+      {TaskId::kSst2, "SST-2", 2, MetricKind::kAccuracy, 2000, 400},
+      {TaskId::kMrpc, "MRPC", 2, MetricKind::kF1, 1200, 400},
+      {TaskId::kCola, "CoLA", 2, MetricKind::kMatthews, 1600, 400},
+      {TaskId::kQnli, "QNLI", 2, MetricKind::kAccuracy, 2000, 400},
+      {TaskId::kRte, "RTE", 2, MetricKind::kAccuracy, 500, 240},
+      {TaskId::kStsb, "STS-B", 0, MetricKind::kSpearman, 1600, 400},
+  };
+  return kTasks;
+}
+
+const TaskInfo& task_info(TaskId id) {
+  for (const TaskInfo& t : all_tasks()) {
+    if (t.id == id) return t;
+  }
+  ACTCOMP_ASSERT(false, "unknown task id");
+}
+
+namespace {
+
+using tensor::Generator;
+
+int64_t rand_topic(Generator& gen) { return gen.randint(0, Vocab::kNumTopics - 1); }
+
+int64_t rand_topic_except(Generator& gen, int64_t avoid) {
+  const int64_t t = gen.randint(0, Vocab::kNumTopics - 2);
+  return t >= avoid ? t + 1 : t;
+}
+
+int64_t rand_word_in_topic(Generator& gen, int64_t topic) {
+  return Vocab::topic_word(topic, gen.randint(0, Vocab::kTopicWords - 1));
+}
+
+int64_t rand_filler(Generator& gen) {
+  return gen.randint(Vocab::kFillerBegin, Vocab::kFillerEnd - 1);
+}
+
+std::vector<int64_t> topic_sentence(Generator& gen, int64_t topic, int64_t n,
+                                    double filler_prob) {
+  std::vector<int64_t> s(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    s[static_cast<size_t>(i)] = gen.bernoulli(filler_prob)
+                                    ? rand_filler(gen)
+                                    : rand_word_in_topic(gen, topic);
+  }
+  return s;
+}
+
+void shuffle(Generator& gen, std::vector<int64_t>& v) {
+  for (size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[static_cast<size_t>(gen.randint(0, static_cast<int64_t>(i) - 1))]);
+  }
+}
+
+/// A shuffled copy of the first `m` elements of `src` (a "summary").
+std::vector<int64_t> subset_of(Generator& gen, const std::vector<int64_t>& src,
+                               int64_t m) {
+  std::vector<int64_t> out = src;
+  shuffle(gen, out);
+  out.resize(static_cast<size_t>(std::min<int64_t>(m, static_cast<int64_t>(out.size()))));
+  return out;
+}
+
+Example gen_sst2(Generator& gen, int64_t n) {
+  Example e;
+  e.label_class = gen.randint(0, 1);
+  const auto [lo, hi] = e.label_class == 1
+                            ? std::pair{Vocab::kPositiveBegin, Vocab::kPositiveEnd}
+                            : std::pair{Vocab::kNegativeBegin, Vocab::kNegativeEnd};
+  const auto [olo, ohi] = e.label_class == 1
+                              ? std::pair{Vocab::kNegativeBegin, Vocab::kNegativeEnd}
+                              : std::pair{Vocab::kPositiveBegin, Vocab::kPositiveEnd};
+  for (int64_t i = 0; i < n; ++i) {
+    const double r = gen.rand_float();
+    if (r < 0.70) {
+      e.tokens_a.push_back(gen.randint(lo, hi - 1));
+    } else if (r < 0.85) {
+      e.tokens_a.push_back(gen.randint(olo, ohi - 1));
+    } else {
+      e.tokens_a.push_back(rand_filler(gen));
+    }
+  }
+  return e;
+}
+
+Example gen_cola(Generator& gen, int64_t n) {
+  // "Grammar": strict alternation between the first and second half of one
+  // topic's word list. Violations swap one adjacent pair or substitute one
+  // wrong-class word — detectable only through positional information.
+  Example e;
+  const int64_t topic = rand_topic(gen);
+  const int64_t half = Vocab::kTopicWords / 2;
+  if (n % 2 != 0) --n;
+  for (int64_t i = 0; i < n; ++i) {
+    const bool class_a = i % 2 == 0;
+    const int64_t offset = class_a ? gen.randint(0, half - 1)
+                                   : half + gen.randint(0, half - 1);
+    e.tokens_a.push_back(Vocab::topic_word(topic, offset));
+  }
+  e.label_class = gen.randint(0, 1);
+  if (e.label_class == 0) {  // corrupt
+    if (gen.bernoulli(0.5)) {
+      const int64_t i = gen.randint(0, n - 2);
+      std::swap(e.tokens_a[static_cast<size_t>(i)],
+                e.tokens_a[static_cast<size_t>(i + 1)]);
+    } else {
+      const int64_t i = gen.randint(0, n - 1);
+      const bool class_a = i % 2 == 0;
+      // Substitute a word of the *wrong* class.
+      const int64_t offset = class_a ? half + gen.randint(0, half - 1)
+                                     : gen.randint(0, half - 1);
+      e.tokens_a[static_cast<size_t>(i)] = Vocab::topic_word(topic, offset);
+    }
+  }
+  return e;
+}
+
+Example gen_mnli(Generator& gen, int64_t n, double filler_prob) {
+  Example e;
+  const int64_t topic = rand_topic(gen);
+  e.tokens_a = topic_sentence(gen, topic, n, filler_prob);
+  e.label_class = gen.randint(0, 2);
+  switch (e.label_class) {
+    case 0:  // entailment: hypothesis is a summary of the premise
+      e.tokens_b = subset_of(gen, e.tokens_a, n / 2);
+      break;
+    case 1:  // neutral: different topic entirely
+      e.tokens_b = topic_sentence(gen, rand_topic_except(gen, topic), n / 2,
+                                  filler_prob);
+      break;
+    default:  // contradiction: summary of the premise, negated
+      e.tokens_b = subset_of(gen, e.tokens_a, n / 2 - 1);
+      e.tokens_b.insert(e.tokens_b.begin(), Vocab::kNeg);
+      break;
+  }
+  return e;
+}
+
+Example gen_paraphrase(Generator& gen, int64_t n, double replace_prob,
+                       bool hard_negatives) {
+  Example e;
+  const int64_t topic = rand_topic(gen);
+  e.tokens_a = topic_sentence(gen, topic, n, 0.1);
+  e.label_class = gen.randint(0, 1);
+  if (e.label_class == 1) {  // paraphrase: shuffle + partial rewording
+    e.tokens_b = e.tokens_a;
+    shuffle(gen, e.tokens_b);
+    for (int64_t& t : e.tokens_b) {
+      if (gen.bernoulli(replace_prob) && Vocab::is_topic_word(t)) {
+        t = rand_word_in_topic(gen, topic);
+      }
+    }
+  } else if (hard_negatives && gen.bernoulli(0.5)) {
+    // Same topic, different content — forces token-level comparison (MRPC
+    // negatives are half hard, half cross-topic, so the task is learnable
+    // but tops out mid-range, as MRPC does in the paper's tables).
+    e.tokens_b = topic_sentence(gen, topic, n, 0.1);
+  } else {
+    e.tokens_b = topic_sentence(gen, rand_topic_except(gen, topic), n, 0.1);
+  }
+  return e;
+}
+
+Example gen_qnli(Generator& gen, int64_t n) {
+  Example e;
+  const int64_t topic = rand_topic(gen);
+  // "Question": three probe words plus filler.
+  std::vector<int64_t> probes;
+  for (int i = 0; i < 3; ++i) probes.push_back(rand_word_in_topic(gen, topic));
+  e.tokens_a = probes;
+  while (static_cast<int64_t>(e.tokens_a.size()) < n / 2) {
+    e.tokens_a.push_back(rand_filler(gen));
+  }
+  shuffle(gen, e.tokens_a);
+  e.label_class = gen.randint(0, 1);
+  // "Answer sentence": entailment (0) iff it actually contains the probe
+  // words. Half the negatives are cross-topic (easy), half same-topic
+  // (requiring exact probe matching), so a small encoder can learn the task
+  // without it being trivial.
+  const int64_t answer_topic =
+      (e.label_class == 1 && gen.bernoulli(0.5)) ? rand_topic_except(gen, topic)
+                                                 : topic;
+  e.tokens_b = topic_sentence(gen, answer_topic, n, 0.1);
+  if (e.label_class == 0) {
+    for (size_t i = 0; i < probes.size() && i < e.tokens_b.size(); ++i) {
+      e.tokens_b[static_cast<size_t>(gen.randint(
+          0, static_cast<int64_t>(e.tokens_b.size()) - 1))] = probes[i];
+    }
+  }
+  return e;
+}
+
+Example gen_rte(Generator& gen, int64_t n) {
+  Example e;
+  const int64_t topic = rand_topic(gen);
+  e.tokens_a = topic_sentence(gen, topic, n, 0.15);
+  e.label_class = gen.randint(0, 1);
+  if (e.label_class == 0) {  // entailment
+    e.tokens_b = subset_of(gen, e.tokens_a, n / 2);
+  } else if (gen.bernoulli(0.5)) {
+    e.tokens_b = topic_sentence(gen, rand_topic_except(gen, topic), n / 2, 0.15);
+  } else {
+    e.tokens_b = topic_sentence(gen, topic, n / 2, 0.15);  // hard negative
+  }
+  return e;
+}
+
+Example gen_stsb(Generator& gen, int64_t n) {
+  Example e;
+  const int64_t topic = rand_topic(gen);
+  e.tokens_a = topic_sentence(gen, topic, n, 0.0);
+  const double overlap = gen.rand_float();
+  const int64_t shared = static_cast<int64_t>(overlap * static_cast<double>(n) + 0.5);
+  e.tokens_b = subset_of(gen, e.tokens_a, shared);
+  while (static_cast<int64_t>(e.tokens_b.size()) < n) {
+    e.tokens_b.push_back(rand_word_in_topic(gen, rand_topic_except(gen, topic)));
+  }
+  shuffle(gen, e.tokens_b);
+  e.label_value = static_cast<float>(5.0 * overlap);
+  return e;
+}
+
+}  // namespace
+
+std::vector<Example> generate_examples(TaskId task, int64_t count,
+                                       int64_t sentence_len,
+                                       tensor::Generator& gen) {
+  ACTCOMP_CHECK(count >= 0, "negative example count");
+  ACTCOMP_CHECK(sentence_len >= 6, "sentence_len must be >= 6, got " << sentence_len);
+  std::vector<Example> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    switch (task) {
+      case TaskId::kSst2: out.push_back(gen_sst2(gen, sentence_len)); break;
+      case TaskId::kCola: out.push_back(gen_cola(gen, sentence_len)); break;
+      case TaskId::kMnliM: out.push_back(gen_mnli(gen, sentence_len, 0.10)); break;
+      case TaskId::kMnliMM: out.push_back(gen_mnli(gen, sentence_len, 0.25)); break;
+      case TaskId::kQqp:
+        out.push_back(gen_paraphrase(gen, sentence_len, 0.25, false));
+        break;
+      case TaskId::kMrpc:
+        out.push_back(gen_paraphrase(gen, sentence_len, 0.40, true));
+        break;
+      case TaskId::kQnli: out.push_back(gen_qnli(gen, sentence_len)); break;
+      case TaskId::kRte: out.push_back(gen_rte(gen, sentence_len)); break;
+      case TaskId::kStsb: out.push_back(gen_stsb(gen, sentence_len)); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace actcomp::data

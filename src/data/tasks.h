@@ -1,0 +1,65 @@
+// The nine GLUE-style evaluation columns of the paper's accuracy tables,
+// backed by synthetic generators (see vocab.h for why).
+//
+// Each synthetic task mirrors the *shape* of its GLUE namesake:
+//   MNLI-m/-mm  paired, 3-class entailment (contradiction via negation marker)
+//   QQP, MRPC   paired, binary paraphrase — scored with F1
+//   SST-2       single sentence, binary sentiment
+//   CoLA        single sentence, binary acceptability (an order-sensitive
+//               grammar) — scored with Matthews correlation; deliberately the
+//               hardest task, as in the paper
+//   QNLI, RTE   paired, binary entailment; RTE gets a small training set to
+//               reproduce its high variance in the paper
+//   STS-B       paired, regression on token overlap — scored with Spearman
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace actcomp::data {
+
+enum class TaskId {
+  kMnliM,
+  kMnliMM,
+  kQqp,
+  kSst2,
+  kMrpc,
+  kCola,
+  kQnli,
+  kRte,
+  kStsb,
+};
+
+enum class MetricKind { kAccuracy, kF1, kMatthews, kSpearman };
+
+struct TaskInfo {
+  TaskId id;
+  std::string name;        ///< paper column header
+  int num_classes;         ///< 0 for regression
+  MetricKind metric;
+  int64_t default_train;   ///< default training-set size
+  int64_t default_dev;
+};
+
+const std::vector<TaskInfo>& all_tasks();
+const TaskInfo& task_info(TaskId id);
+
+/// One labeled example: one or two token sequences plus a label.
+struct Example {
+  std::vector<int64_t> tokens_a;
+  std::vector<int64_t> tokens_b;  ///< empty for single-sentence tasks
+  int64_t label_class = 0;        ///< classification tasks
+  float label_value = 0.0f;       ///< regression tasks (STS-B, in [0, 5])
+};
+
+/// Deterministically generate `count` examples of `task`. `sentence_len` is
+/// the per-sentence token budget (the pair is later packed as
+/// [CLS] a… [SEP] b… [SEP] up to the model's sequence length).
+std::vector<Example> generate_examples(TaskId task, int64_t count,
+                                       int64_t sentence_len,
+                                       tensor::Generator& gen);
+
+}  // namespace actcomp::data

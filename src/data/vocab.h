@@ -1,0 +1,48 @@
+// Synthetic vocabulary layout shared by every data generator.
+//
+// There is no real text in this environment (DESIGN.md §2), so tasks are
+// generated directly over token ids. The id space is partitioned into
+// structured regions — sentiment words, topical words, filler — that the
+// task generators compose; a small Transformer can learn each task only by
+// actually attending over the sequence, which is what the paper's accuracy
+// experiments stress.
+#pragma once
+
+#include <cstdint>
+
+namespace actcomp::data {
+
+struct Vocab {
+  // ---- special tokens ----
+  static constexpr int64_t kPad = 0;
+  static constexpr int64_t kCls = 1;
+  static constexpr int64_t kSep = 2;
+  static constexpr int64_t kMask = 3;
+  static constexpr int64_t kNeg = 4;  ///< negation marker (MNLI contradictions)
+
+  // ---- word regions ----
+  static constexpr int64_t kPositiveBegin = 5;    ///< sentiment-positive words
+  static constexpr int64_t kPositiveEnd = 45;
+  static constexpr int64_t kNegativeBegin = 45;   ///< sentiment-negative words
+  static constexpr int64_t kNegativeEnd = 85;
+  static constexpr int64_t kNumTopics = 8;
+  static constexpr int64_t kTopicWords = 20;      ///< words per topic
+  static constexpr int64_t kTopicBegin = 85;      ///< 8 topics x 20 words
+  static constexpr int64_t kTopicEnd = kTopicBegin + kNumTopics * kTopicWords;  // 245
+  static constexpr int64_t kFillerBegin = 245;
+  static constexpr int64_t kFillerEnd = 256;
+
+  static constexpr int64_t kSize = 256;
+
+  static constexpr int64_t topic_word(int64_t topic, int64_t index) {
+    return kTopicBegin + topic * kTopicWords + index;
+  }
+  static constexpr int64_t topic_of(int64_t token) {
+    return (token - kTopicBegin) / kTopicWords;
+  }
+  static constexpr bool is_topic_word(int64_t token) {
+    return token >= kTopicBegin && token < kTopicEnd;
+  }
+};
+
+}  // namespace actcomp::data

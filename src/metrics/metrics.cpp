@@ -1,0 +1,97 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/check.h"
+
+namespace actcomp::metrics {
+
+namespace {
+void check_sizes(size_t a, size_t b, const char* name) {
+  ACTCOMP_CHECK(a == b, name << ": size mismatch " << a << " vs " << b);
+  ACTCOMP_CHECK(a > 0, name << ": empty inputs");
+}
+}  // namespace
+
+double accuracy(const std::vector<int64_t>& pred, const std::vector<int64_t>& label) {
+  check_sizes(pred.size(), label.size(), "accuracy");
+  size_t hit = 0;
+  for (size_t i = 0; i < pred.size(); ++i) hit += pred[i] == label[i];
+  return static_cast<double>(hit) / static_cast<double>(pred.size());
+}
+
+double f1_binary(const std::vector<int64_t>& pred, const std::vector<int64_t>& label) {
+  check_sizes(pred.size(), label.size(), "f1_binary");
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const bool p = pred[i] == 1;
+    const bool l = label[i] == 1;
+    tp += p && l;
+    fp += p && !l;
+    fn += !p && l;
+  }
+  const int64_t denom = 2 * tp + fp + fn;
+  return denom == 0 ? 0.0 : 2.0 * static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double matthews_corrcoef(const std::vector<int64_t>& pred,
+                         const std::vector<int64_t>& label) {
+  check_sizes(pred.size(), label.size(), "matthews_corrcoef");
+  double tp = 0, tn = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const bool p = pred[i] == 1;
+    const bool l = label[i] == 1;
+    tp += p && l;
+    tn += !p && !l;
+    fp += p && !l;
+    fn += !p && l;
+  }
+  const double denom =
+      std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  return denom == 0.0 ? 0.0 : (tp * tn - fp * fn) / denom;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  check_sizes(a.size(), b.size(), "pearson");
+  const double n = static_cast<double>(a.size());
+  const double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  const double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+namespace {
+std::vector<double> ranks(const std::vector<double>& v) {
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return v[i] < v[j]; });
+  std::vector<double> r(v.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) r[order[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+}  // namespace
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  check_sizes(a.size(), b.size(), "spearman");
+  return pearson(ranks(a), ranks(b));
+}
+
+}  // namespace actcomp::metrics

@@ -1,0 +1,31 @@
+// GLUE-style evaluation metrics (paper §4.3 tables).
+//
+// The paper reports: accuracy for most tasks, F1 for QQP/MRPC, Matthews
+// correlation for CoLA, and Spearman correlation for STS-B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace actcomp::metrics {
+
+/// Fraction of positions where pred == label, in [0, 1].
+double accuracy(const std::vector<int64_t>& pred, const std::vector<int64_t>& label);
+
+/// Binary F1 with class 1 as positive. Returns 0 when no positives exist
+/// anywhere (degenerate predictor).
+double f1_binary(const std::vector<int64_t>& pred, const std::vector<int64_t>& label);
+
+/// Matthews correlation coefficient for binary labels, in [-1, 1]. Returns 0
+/// when any confusion-matrix margin is empty (the GLUE convention).
+double matthews_corrcoef(const std::vector<int64_t>& pred,
+                         const std::vector<int64_t>& label);
+
+/// Pearson product-moment correlation. Returns 0 for zero-variance inputs.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Spearman rank correlation (average ranks for ties). Returns 0 for
+/// zero-variance inputs.
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace actcomp::metrics

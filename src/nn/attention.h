@@ -1,0 +1,34 @@
+// Multi-head self-attention (the BERT encoder flavour).
+#pragma once
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace actcomp::nn {
+
+class MultiHeadAttention final : public Module {
+ public:
+  MultiHeadAttention(int64_t hidden, int64_t num_heads, tensor::Generator& gen);
+
+  /// x: [b, s, h]. `key_mask` is either empty (no padding) or a [b, s] tensor
+  /// that is 0 at valid positions and a large negative value at padded ones;
+  /// it is added to every query's attention scores.
+  autograd::Variable forward(const autograd::Variable& x,
+                             const tensor::Tensor& key_mask) const;
+
+  std::vector<NamedParam> named_parameters() const override;
+
+  int64_t hidden() const { return hidden_; }
+  int64_t num_heads() const { return heads_; }
+
+ private:
+  int64_t hidden_;
+  int64_t heads_;
+  int64_t head_dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+}  // namespace actcomp::nn

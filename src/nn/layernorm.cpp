@@ -1,0 +1,24 @@
+#include "nn/layernorm.h"
+
+#include "autograd/functions.h"
+#include "tensor/check.h"
+
+namespace actcomp::nn {
+
+LayerNorm::LayerNorm(int64_t features, float eps) : eps_(eps) {
+  ACTCOMP_CHECK(features > 0, "layernorm features must be positive");
+  gamma_ = autograd::Variable::leaf(tensor::Tensor::ones(tensor::Shape{features}),
+                                    /*requires_grad=*/true);
+  beta_ = autograd::Variable::leaf(tensor::Tensor::zeros(tensor::Shape{features}),
+                                   /*requires_grad=*/true);
+}
+
+autograd::Variable LayerNorm::forward(const autograd::Variable& x) const {
+  return autograd::layernorm(x, gamma_, beta_, eps_);
+}
+
+std::vector<NamedParam> LayerNorm::named_parameters() const {
+  return {{"gamma", gamma_}, {"beta", beta_}};
+}
+
+}  // namespace actcomp::nn

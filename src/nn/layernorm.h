@@ -1,0 +1,22 @@
+// LayerNorm module: affine layer normalization over the last dimension.
+#pragma once
+
+#include "nn/module.h"
+
+namespace actcomp::nn {
+
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  autograd::Variable forward(const autograd::Variable& x) const;
+
+  std::vector<NamedParam> named_parameters() const override;
+
+ private:
+  autograd::Variable gamma_;
+  autograd::Variable beta_;
+  float eps_;
+};
+
+}  // namespace actcomp::nn

@@ -1,0 +1,30 @@
+// Linear (dense) layer: y = x W + b.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace actcomp::nn {
+
+class Linear final : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, tensor::Generator& gen,
+         bool bias = true);
+
+  /// x: [..., in_features] -> [..., out_features].
+  autograd::Variable forward(const autograd::Variable& x) const;
+
+  std::vector<NamedParam> named_parameters() const override;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+  const autograd::Variable& weight() const { return weight_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  autograd::Variable weight_;  // [in, out]
+  autograd::Variable bias_;    // [out], undefined when bias = false
+};
+
+}  // namespace actcomp::nn

@@ -1,0 +1,52 @@
+#include "nn/module.h"
+
+#include "tensor/check.h"
+
+namespace actcomp::nn {
+
+std::vector<autograd::Variable> Module::parameters() const {
+  std::vector<autograd::Variable> out;
+  for (auto& [name, p] : named_parameters()) out.push_back(p);
+  return out;
+}
+
+int64_t Module::parameter_count() const {
+  int64_t n = 0;
+  for (const auto& [name, p] : named_parameters()) n += p.value().numel();
+  return n;
+}
+
+tensor::TensorMap Module::state_dict() const {
+  tensor::TensorMap m;
+  for (const auto& [name, p] : named_parameters()) {
+    ACTCOMP_CHECK(!m.count(name), "duplicate parameter name '" << name << "'");
+    m.emplace(name, p.value().clone());
+  }
+  return m;
+}
+
+int Module::load_state_dict(const tensor::TensorMap& state) {
+  int loaded = 0;
+  for (auto& [name, p] : named_parameters()) {
+    const auto it = state.find(name);
+    if (it == state.end()) continue;
+    ACTCOMP_CHECK(it->second.shape() == p.value().shape(),
+                  "checkpoint shape " << it->second.shape().str()
+                                      << " != parameter shape "
+                                      << p.value().shape().str() << " for '"
+                                      << name << "'");
+    // Variables are handles; writing through the handle updates the live node.
+    autograd::Variable handle = p;
+    handle.mutable_value() = it->second.clone();
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::vector<NamedParam> prefixed(const std::string& prefix,
+                                 std::vector<NamedParam> params) {
+  for (auto& [name, p] : params) name = prefix + "." + name;
+  return params;
+}
+
+}  // namespace actcomp::nn

@@ -1,0 +1,45 @@
+// Module: base class for parameterized network components.
+//
+// Parameters are exposed by name so checkpoints can be saved/loaded
+// selectively — the paper's Takeaway 5 (pre-train with AE codecs, fine-tune
+// without them) is exactly a filtered load.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/io.h"
+
+namespace actcomp::nn {
+
+using NamedParam = std::pair<std::string, autograd::Variable>;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters with hierarchical dotted names.
+  virtual std::vector<NamedParam> named_parameters() const = 0;
+
+  /// Flat parameter list (tape leaves, shared with named_parameters()).
+  std::vector<autograd::Variable> parameters() const;
+
+  /// Total trainable scalar count.
+  int64_t parameter_count() const;
+
+  /// Snapshot parameter values into a tensor map (names -> cloned tensors).
+  tensor::TensorMap state_dict() const;
+
+  /// Load values for every parameter whose name appears in `state`; names
+  /// absent from `state` are left untouched (enables partial restores).
+  /// Returns the number of parameters loaded.
+  int load_state_dict(const tensor::TensorMap& state);
+};
+
+/// Prefix every name in `params` with `prefix + "."` (module composition).
+std::vector<NamedParam> prefixed(const std::string& prefix,
+                                 std::vector<NamedParam> params);
+
+}  // namespace actcomp::nn

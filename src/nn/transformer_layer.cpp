@@ -1,0 +1,52 @@
+#include "nn/transformer_layer.h"
+
+#include "autograd/functions.h"
+#include "tensor/check.h"
+
+namespace actcomp::nn {
+
+namespace ag = actcomp::autograd;
+
+TransformerEncoderLayer::TransformerEncoderLayer(const TransformerLayerConfig& cfg,
+                                                 tensor::Generator& gen)
+    : cfg_(cfg),
+      attn_(cfg.hidden, cfg.num_heads, gen),
+      ln1_(cfg.hidden),
+      mlp_in_(cfg.hidden, cfg.intermediate, gen),
+      mlp_out_(cfg.intermediate, cfg.hidden, gen),
+      ln2_(cfg.hidden) {}
+
+void TransformerEncoderLayer::set_compression(compress::Compressor* attn_comm,
+                                              compress::Compressor* mlp_comm) {
+  attn_comm_ = attn_comm;
+  mlp_comm_ = mlp_comm;
+}
+
+ag::Variable TransformerEncoderLayer::forward(const ag::Variable& x,
+                                              const tensor::Tensor& key_mask,
+                                              tensor::Generator& gen,
+                                              bool training) const {
+  // Attention block; compress where TP would all-reduce its output.
+  ag::Variable a = attn_.forward(x, key_mask);
+  if (attn_comm_ != nullptr) a = attn_comm_->apply(a);
+  a = ag::dropout(a, cfg_.dropout, gen, training);
+  ag::Variable h1 = ln1_.forward(ag::add(x, a));
+
+  // MLP block; compress where TP would all-reduce its output.
+  ag::Variable m = mlp_out_.forward(ag::gelu(mlp_in_.forward(h1)));
+  if (mlp_comm_ != nullptr) m = mlp_comm_->apply(m);
+  m = ag::dropout(m, cfg_.dropout, gen, training);
+  return ln2_.forward(ag::add(h1, m));
+}
+
+std::vector<NamedParam> TransformerEncoderLayer::named_parameters() const {
+  std::vector<NamedParam> out;
+  for (auto& p : prefixed("attn", attn_.named_parameters())) out.push_back(std::move(p));
+  for (auto& p : prefixed("ln1", ln1_.named_parameters())) out.push_back(std::move(p));
+  for (auto& p : prefixed("mlp_in", mlp_in_.named_parameters())) out.push_back(std::move(p));
+  for (auto& p : prefixed("mlp_out", mlp_out_.named_parameters())) out.push_back(std::move(p));
+  for (auto& p : prefixed("ln2", ln2_.named_parameters())) out.push_back(std::move(p));
+  return out;
+}
+
+}  // namespace actcomp::nn

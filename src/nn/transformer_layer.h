@@ -1,0 +1,56 @@
+// TransformerEncoderLayer with the paper's compression hook points.
+//
+// Megatron-LM tensor parallelism all-reduces exactly two [b, s, h] tensors
+// per layer: the attention block output and the MLP block output (Fig. 3's
+// `g` operators). A compressor attached to this layer is applied to those two
+// tensors right before the (virtual) all-reduce — faithfully replicating
+// where the paper's C/DC pair sits in the computation.
+#pragma once
+
+#include "compress/compressor.h"
+#include "nn/attention.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace actcomp::nn {
+
+struct TransformerLayerConfig {
+  int64_t hidden = 128;
+  int64_t num_heads = 4;
+  int64_t intermediate = 512;  ///< MLP inner size (4h in BERT)
+  float dropout = 0.1f;
+};
+
+class TransformerEncoderLayer final : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerLayerConfig& cfg,
+                          tensor::Generator& gen);
+
+  /// Attach (or detach, with nullptr) the compressors applied to the two
+  /// TP communication points. Not owned; must outlive forward/backward.
+  void set_compression(compress::Compressor* attn_comm,
+                       compress::Compressor* mlp_comm);
+
+  bool is_compressed() const { return attn_comm_ != nullptr || mlp_comm_ != nullptr; }
+
+  autograd::Variable forward(const autograd::Variable& x,
+                             const tensor::Tensor& key_mask,
+                             tensor::Generator& gen, bool training) const;
+
+  std::vector<NamedParam> named_parameters() const override;
+
+  const TransformerLayerConfig& config() const { return cfg_; }
+
+ private:
+  TransformerLayerConfig cfg_;
+  MultiHeadAttention attn_;
+  LayerNorm ln1_;
+  Linear mlp_in_;
+  Linear mlp_out_;
+  LayerNorm ln2_;
+  compress::Compressor* attn_comm_ = nullptr;
+  compress::Compressor* mlp_comm_ = nullptr;
+};
+
+}  // namespace actcomp::nn

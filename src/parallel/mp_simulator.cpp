@@ -1,0 +1,252 @@
+#include "parallel/mp_simulator.h"
+
+#include <algorithm>
+
+#include "compress/compressor.h"
+#include "sim/collectives.h"
+#include "tensor/check.h"
+
+namespace actcomp::parallel {
+
+namespace cp = actcomp::compress;
+namespace sm = actcomp::sim;
+
+namespace {
+
+bool is_quant(cp::Setting s) {
+  return s == cp::Setting::kQ1 || s == cp::Setting::kQ2 || s == cp::Setting::kQ3;
+}
+bool is_ae(cp::Setting s) {
+  return s == cp::Setting::kA1 || s == cp::Setting::kA2;
+}
+
+/// Wire bytes for one compressed activation message of `numel` elements.
+int64_t wire_bytes(cp::Setting s, int64_t numel, int64_t hidden) {
+  switch (s) {
+    case cp::Setting::kBaseline:
+      return numel * 2;
+    case cp::Setting::kA1:
+    case cp::Setting::kA2:
+      return numel / hidden * cp::ae_code_size(s, hidden) * 2;
+    case cp::Setting::kT1:
+    case cp::Setting::kT2:
+    case cp::Setting::kT3:
+    case cp::Setting::kT4:
+    case cp::Setting::kR1:
+    case cp::Setting::kR2:
+    case cp::Setting::kR3:
+    case cp::Setting::kR4:
+      return sm::OverheadModel::kept_elements(s, numel) *
+             cp::kSparseBytesPerElement;
+    case cp::Setting::kQ1:
+    case cp::Setting::kQ2:
+    case cp::Setting::kQ3: {
+      const int bits = cp::quant_bits(s);
+      const int64_t rows = numel / hidden;
+      return (numel * bits + 7) / 8 + rows * 4;
+    }
+  }
+  ACTCOMP_ASSERT(false, "unreachable setting");
+}
+
+/// Bytes of the backward (gradient) message crossing a compressed pipeline
+/// boundary. Sparse and AE gradients shrink with the forward message; the
+/// quantized path does NOT (paper §3.3: the backward engine only supports
+/// float gradients, so the gradient stays activation-sized).
+int64_t backward_wire_bytes(cp::Setting s, int64_t numel, int64_t hidden) {
+  if (s == cp::Setting::kBaseline || is_quant(s)) return numel * 2;
+  return wire_bytes(s, numel, hidden);
+}
+
+}  // namespace
+
+ModelParallelSimulator::ModelParallelSimulator(sim::ClusterSpec cluster,
+                                               nn::BertConfig model,
+                                               ParallelConfig parallel,
+                                               TrainJob job,
+                                               sim::ScheduleKind schedule)
+    : cluster_(std::move(cluster)),
+      model_(model),
+      parallel_(parallel),
+      job_(job),
+      schedule_(schedule) {
+  ACTCOMP_CHECK(parallel_.tp >= 1 && parallel_.pp >= 1, "bad parallel degrees");
+  ACTCOMP_CHECK(parallel_.tp * parallel_.pp == cluster_.total_gpus(),
+                "tp*pp = " << parallel_.tp * parallel_.pp << " != cluster GPUs "
+                           << cluster_.total_gpus());
+  ACTCOMP_CHECK(model_.num_layers % parallel_.pp == 0,
+                "layers " << model_.num_layers << " not divisible by pp "
+                          << parallel_.pp);
+  ACTCOMP_CHECK(job_.micro_batch > 0 && job_.num_micro > 0 && job_.seq > 0,
+                "bad train job");
+  overhead_.gpu = cluster_.gpu;
+}
+
+const sim::LinkSpec& ModelParallelSimulator::tp_link() const {
+  // TP inside the node when it fits; otherwise it spills over the network.
+  return parallel_.tp <= cluster_.gpus_per_node ? cluster_.intra_node
+                                                : cluster_.inter_node;
+}
+
+const sim::LinkSpec& ModelParallelSimulator::boundary_link(int boundary) const {
+  // Stage s occupies global GPUs [s*tp, (s+1)*tp); the boundary crosses
+  // nodes iff the adjacent stages' lead GPUs live on different nodes.
+  const int gpu_a = boundary * parallel_.tp;
+  const int gpu_b = (boundary + 1) * parallel_.tp;
+  const int node_a = gpu_a / cluster_.gpus_per_node;
+  const int node_b = gpu_b / cluster_.gpus_per_node;
+  return node_a == node_b ? cluster_.intra_node : cluster_.inter_node;
+}
+
+double ModelParallelSimulator::boundary_parallelism(int boundary) const {
+  const bool cross_node =
+      &boundary_link(boundary) == &cluster_.inter_node;
+  if (cross_node) return 1.0;            // slices share one NIC
+  if (!cluster_.has_nvlink) return 1.0;  // slices share one PCIe bridge
+  return static_cast<double>(parallel_.tp);  // parallel NVLink lanes
+}
+
+int64_t ModelParallelSimulator::parameter_count(const nn::BertConfig& cfg) {
+  // Per layer: QKV+output projections 4h^2 + MLP 8h^2 + biases/LN ~ 13h.
+  const int64_t per_layer = 12 * cfg.hidden * cfg.hidden + 13 * cfg.hidden;
+  return cfg.num_layers * per_layer + (cfg.vocab_size + cfg.max_seq) * cfg.hidden;
+}
+
+IterationBreakdown ModelParallelSimulator::run(
+    const core::CompressionPlan& plan) const {
+  const int tp = parallel_.tp;
+  const int pp = parallel_.pp;
+  const int64_t h = model_.hidden;
+  const int64_t b = job_.micro_batch;
+  const int64_t s = job_.seq;
+  const int64_t layers_per_stage = model_.num_layers / pp;
+  const int64_t msg_numel = b * s * h;  // one all-reduce / boundary tensor
+
+  // Paper §4.7 / Narayanan et al.: FLOPs (fwd+bwd) per layer per micro-batch.
+  const double layer_total_flops =
+      96.0 * static_cast<double>(b) * static_cast<double>(s) *
+          static_cast<double>(h) * static_cast<double>(h) +
+      16.0 * static_cast<double>(b) * static_cast<double>(s) *
+          static_cast<double>(s) * static_cast<double>(h);
+  const double layer_fwd_flops = layer_total_flops / 3.0;
+  const double layer_bwd_flops = 2.0 * layer_total_flops / 3.0;
+
+  sm::PipelineCosts costs;
+  costs.micro_batches = static_cast<int>(job_.num_micro);
+  costs.fwd_ms.assign(static_cast<size_t>(pp), 0.0);
+  costs.bwd_ms.assign(static_cast<size_t>(pp), 0.0);
+  costs.p2p_fwd_ms.assign(static_cast<size_t>(pp - 1), 0.0);
+  costs.p2p_bwd_ms.assign(static_cast<size_t>(pp - 1), 0.0);
+
+  std::vector<double> stage_enc(static_cast<size_t>(pp), 0.0);
+  std::vector<double> stage_dec(static_cast<size_t>(pp), 0.0);
+  std::vector<double> stage_tp_comm(static_cast<size_t>(pp), 0.0);
+
+  const sim::LinkSpec& tpl = tp_link();
+  const cp::Setting setting = plan.setting;
+
+  for (int stage = 0; stage < pp; ++stage) {
+    double fwd = 0.0, bwd = 0.0, enc = 0.0, dec = 0.0, comm = 0.0;
+    for (int64_t l = stage * layers_per_stage; l < (stage + 1) * layers_per_stage;
+         ++l) {
+      fwd += cluster_.gpu.compute_ms(layer_fwd_flops / tp);
+      bwd += cluster_.gpu.compute_ms(layer_bwd_flops / tp);
+      if (tp > 1) {
+        // Two forward all-reduces (attention out, MLP out) — the compressible
+        // points — and two backward all-reduces (input grads), never
+        // compressed.
+        const bool comp = plan.compresses(l);
+        for (int point = 0; point < 2; ++point) {
+          if (!comp) {
+            comm += sm::allreduce_ms(msg_numel * 2, tp, tpl);
+          } else if (is_ae(setting)) {
+            fwd += overhead_.dispatch_ms;  // outside the enc/dec timers
+            enc += overhead_.encode_ms(setting, msg_numel, h);
+            comm += sm::allreduce_ms(wire_bytes(setting, msg_numel, h), tp, tpl);
+            dec += overhead_.decode_ms(setting, msg_numel, h);
+          } else {
+            // Multi-tensor wire formats cannot ride all-reduce (§3.2):
+            // all-gather, then every rank decodes all tp messages.
+            fwd += overhead_.dispatch_ms;
+            enc += overhead_.encode_ms(setting, msg_numel, h);
+            comm += sm::allgather_ms(wire_bytes(setting, msg_numel, h), tp, tpl);
+            dec += overhead_.decode_ms(setting, msg_numel, h, tp);
+          }
+        }
+        comm += 2.0 * sm::allreduce_ms(msg_numel * 2, tp, tpl);  // backward
+        if (comp) bwd += 2.0 * overhead_.backward_extra_ms(setting, msg_numel, h);
+      }
+    }
+    // TP comm and codec work happen inside the forward/backward steps.
+    const double fwd_comm_share = tp > 1 ? comm / 2.0 : 0.0;  // fwd all-reduces
+    costs.fwd_ms[static_cast<size_t>(stage)] = fwd + fwd_comm_share + enc + dec;
+    costs.bwd_ms[static_cast<size_t>(stage)] = bwd + (comm - fwd_comm_share);
+    stage_enc[static_cast<size_t>(stage)] = enc;
+    stage_dec[static_cast<size_t>(stage)] = dec;
+    stage_tp_comm[static_cast<size_t>(stage)] = comm;
+  }
+
+  // Pipeline boundaries. The activation leaving stage `st` feeds the first
+  // layer of stage st+1; it is compressed iff that consumer layer is in the
+  // plan window (matches the paper's Table 9, where with the last 12 of 24
+  // layers compressed and pp=4, boundaries 1<->2 and 2<->3 shrink but 0<->1
+  // does not).
+  for (int bd = 0; bd + 1 < pp; ++bd) {
+    const int64_t consumer_layer = static_cast<int64_t>(bd + 1) * layers_per_stage;
+    const bool comp = plan.compresses(consumer_layer);
+    const sim::LinkSpec& link = boundary_link(bd);
+    const double par = boundary_parallelism(bd);
+
+    const int64_t fwd_bytes =
+        comp ? wire_bytes(setting, msg_numel, h) : msg_numel * 2;
+    const int64_t bwd_bytes =
+        comp ? backward_wire_bytes(setting, msg_numel, h) : msg_numel * 2;
+    costs.p2p_fwd_ms[static_cast<size_t>(bd)] =
+        sm::p2p_ms(static_cast<int64_t>(static_cast<double>(fwd_bytes) / par), link);
+    costs.p2p_bwd_ms[static_cast<size_t>(bd)] =
+        sm::p2p_ms(static_cast<int64_t>(static_cast<double>(bwd_bytes) / par), link);
+
+    if (comp) {
+      // Sender encodes at the end of its forward; receiver decodes at the
+      // start of its forward.
+      const double e = overhead_.encode_ms(setting, msg_numel, h);
+      const double d = overhead_.decode_ms(setting, msg_numel, h);
+      costs.fwd_ms[static_cast<size_t>(bd)] += e + overhead_.dispatch_ms / 2;
+      costs.fwd_ms[static_cast<size_t>(bd + 1)] += d + overhead_.dispatch_ms / 2;
+      stage_enc[static_cast<size_t>(bd)] += e;
+      stage_dec[static_cast<size_t>(bd + 1)] += d;
+    }
+  }
+
+  const sm::PipelineResult pres = sm::simulate_pipeline(costs, schedule_);
+
+  IterationBreakdown out;
+  out.makespan_ms = pres.makespan_ms;
+  const int64_t params_per_rank = parameter_count(model_) / (tp * pp);
+  // Fused Adam on V100: ~0.04 ns/param plus a fixed launch cost (fitted to
+  // the paper's 5-8 ms optimizer rows).
+  out.optimizer_ms = 3.0 + static_cast<double>(params_per_rank) * 0.04e-6;
+
+  const double m = static_cast<double>(job_.num_micro);
+  for (int stage = 0; stage < pp; ++stage) {
+    out.fwd_critical_ms += costs.fwd_ms[static_cast<size_t>(stage)];
+    out.bwd_critical_ms += costs.bwd_ms[static_cast<size_t>(stage)];
+    out.fwd_busy_max_ms =
+        std::max(out.fwd_busy_max_ms, m * costs.fwd_ms[static_cast<size_t>(stage)]);
+    out.bwd_busy_max_ms =
+        std::max(out.bwd_busy_max_ms, m * costs.bwd_ms[static_cast<size_t>(stage)]);
+  }
+  // The paper profiles the last pipeline stage's rank (where the compressed
+  // layers live under the default last-half plan); report that stage's
+  // per-iteration totals.
+  out.enc_ms = m * stage_enc[static_cast<size_t>(pp - 1)];
+  out.dec_ms = m * stage_dec[static_cast<size_t>(pp - 1)];
+  out.tensor_comm_ms = m * stage_tp_comm[static_cast<size_t>(pp - 1)];
+  for (int bd = 0; bd + 1 < pp; ++bd) {
+    out.boundary_fwd_ms.push_back(m * costs.p2p_fwd_ms[static_cast<size_t>(bd)]);
+    out.boundary_bwd_ms.push_back(m * costs.p2p_bwd_ms[static_cast<size_t>(bd)]);
+  }
+  return out;
+}
+
+}  // namespace actcomp::parallel

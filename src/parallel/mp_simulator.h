@@ -1,0 +1,111 @@
+// ModelParallelSimulator: iteration-time simulation of Megatron-style
+// TP x PP Transformer training with activation compression.
+//
+// Builds per-stage forward/backward costs (roofline compute + collective
+// comm + calibrated encode/decode overheads), per-boundary p2p costs, runs
+// the pipeline schedule, and reports the same breakdown columns as the
+// paper's Tables 4 and 7.
+//
+// Topology rules (paper §4.7 / Narayanan et al.): tensor parallelism is
+// mapped inside a node whenever tp <= gpus_per_node; when tp exceeds the
+// node size the TP group spills onto the inter-node link — this is what
+// makes the paper's TP=8/PP=2 row (Table 6) an order of magnitude slower.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compression_plan.h"
+#include "nn/bert.h"
+#include "sim/hardware.h"
+#include "sim/overhead.h"
+#include "sim/pipeline.h"
+
+namespace actcomp::parallel {
+
+struct ParallelConfig {
+  int tp = 1;  ///< tensor model-parallel degree
+  int pp = 1;  ///< pipeline model-parallel degree
+};
+
+struct TrainJob {
+  int64_t micro_batch = 32;
+  int64_t num_micro = 1;   ///< micro-batches per iteration (global/micro)
+  int64_t seq = 512;
+};
+
+/// Per-iteration timing, decomposed as in the paper's breakdown tables.
+struct IterationBreakdown {
+  double makespan_ms = 0.0;   ///< pipeline schedule makespan (excl. optimizer)
+  double optimizer_ms = 0.0;
+
+  /// One micro-batch's traversal of the whole pipeline (sum over stages).
+  /// Matches the paper's Forward/Backward columns for single-micro-batch
+  /// fine-tuning (Table 4).
+  double fwd_critical_ms = 0.0;
+  double bwd_critical_ms = 0.0;
+  /// Busiest rank's total forward/backward time across all micro-batches.
+  /// Matches the paper's pre-training convention (Table 7).
+  double fwd_busy_max_ms = 0.0;
+  double bwd_busy_max_ms = 0.0;
+
+  /// Busiest stage's per-iteration encode/decode/TP-communication totals
+  /// (the last three columns of Tables 4 and 7).
+  double enc_ms = 0.0;
+  double dec_ms = 0.0;
+  double tensor_comm_ms = 0.0;
+
+  /// Per-boundary p2p transfer totals per iteration (Table 9 reports the
+  /// forward direction).
+  std::vector<double> boundary_fwd_ms;
+  std::vector<double> boundary_bwd_ms;
+
+  double total_ms() const { return makespan_ms + optimizer_ms; }
+  /// "Waiting & Pipeline Comm." under the fine-tune accounting.
+  double waiting_finetune_ms() const {
+    return std::max(0.0, makespan_ms - fwd_critical_ms - bwd_critical_ms);
+  }
+  /// "Waiting & Pipeline Comm." under the pre-train accounting.
+  double waiting_pretrain_ms() const {
+    return std::max(0.0, makespan_ms - fwd_busy_max_ms - bwd_busy_max_ms);
+  }
+};
+
+class ModelParallelSimulator {
+ public:
+  ModelParallelSimulator(sim::ClusterSpec cluster, nn::BertConfig model,
+                         ParallelConfig parallel, TrainJob job,
+                         sim::ScheduleKind schedule = sim::ScheduleKind::k1F1B);
+
+  IterationBreakdown run(const core::CompressionPlan& plan) const;
+
+  /// Baseline convenience.
+  IterationBreakdown run_baseline() const {
+    return run(core::CompressionPlan::none());
+  }
+
+  const sim::OverheadModel& overhead_model() const { return overhead_; }
+  sim::OverheadModel& overhead_model() { return overhead_; }
+
+  /// Total parameter count of the configured model (for optimizer cost).
+  static int64_t parameter_count(const nn::BertConfig& cfg);
+
+ private:
+  /// Link used by a stage's TP group.
+  const sim::LinkSpec& tp_link() const;
+  /// Link crossing a given pipeline boundary.
+  const sim::LinkSpec& boundary_link(int boundary) const;
+  /// Scatter-gather parallelism factor on a boundary (paper's Megatron
+  /// optimization splits the boundary tensor across TP ranks; the slices
+  /// move in parallel over NVLink but share a single NIC or PCIe bridge).
+  double boundary_parallelism(int boundary) const;
+
+  sim::ClusterSpec cluster_;
+  nn::BertConfig model_;
+  ParallelConfig parallel_;
+  TrainJob job_;
+  sim::ScheduleKind schedule_;
+  sim::OverheadModel overhead_;
+};
+
+}  // namespace actcomp::parallel

@@ -1,0 +1,33 @@
+#include "sim/collectives.h"
+
+#include "tensor/check.h"
+
+namespace actcomp::sim {
+
+double allreduce_ms(int64_t bytes, int ranks, const LinkSpec& link) {
+  ACTCOMP_CHECK(ranks >= 1 && bytes >= 0, "bad allreduce args");
+  if (ranks == 1 || bytes == 0) return 0.0;
+  const double n = static_cast<double>(ranks);
+  const double volume_ms =
+      2.0 * (n - 1.0) / n * static_cast<double>(bytes) / (link.bandwidth_gb_s * 1e9) * 1e3;
+  const double latency_ms = 2.0 * (n - 1.0) * link.latency_us * 1e-3;
+  return volume_ms + latency_ms;
+}
+
+double allgather_ms(int64_t bytes_per_rank, int ranks, const LinkSpec& link) {
+  ACTCOMP_CHECK(ranks >= 1 && bytes_per_rank >= 0, "bad allgather args");
+  if (ranks == 1 || bytes_per_rank == 0) return 0.0;
+  const double n = static_cast<double>(ranks);
+  const double volume_ms = (n - 1.0) * static_cast<double>(bytes_per_rank) /
+                           (link.bandwidth_gb_s * 1e9) * 1e3;
+  const double latency_ms = (n - 1.0) * link.latency_us * 1e-3;
+  return volume_ms + latency_ms;
+}
+
+double p2p_ms(int64_t bytes, const LinkSpec& link) {
+  ACTCOMP_CHECK(bytes >= 0, "negative p2p bytes");
+  if (bytes == 0) return 0.0;
+  return link.transfer_ms(bytes);
+}
+
+}  // namespace actcomp::sim

@@ -1,0 +1,26 @@
+// Collective-communication cost models (ring algorithms, as in NCCL).
+//
+//   all-reduce  : 2·(n−1)/n · S / BW + 2·(n−1)·α      (ring, reduce+broadcast)
+//   all-gather  : (n−1)/n · n·S_rank / BW + (n−1)·α = (n−1)·S_rank/BW + …
+//   p2p         : α + S / BW
+//
+// These are the standard alpha-beta ring bounds; NCCL approaches them for
+// the MB-scale messages the paper communicates.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/hardware.h"
+
+namespace actcomp::sim {
+
+/// Ring all-reduce of `bytes` over `ranks` peers connected by `link`.
+double allreduce_ms(int64_t bytes, int ranks, const LinkSpec& link);
+
+/// Ring all-gather where each rank contributes `bytes_per_rank`.
+double allgather_ms(int64_t bytes_per_rank, int ranks, const LinkSpec& link);
+
+/// Point-to-point send of `bytes`.
+double p2p_ms(int64_t bytes, const LinkSpec& link);
+
+}  // namespace actcomp::sim

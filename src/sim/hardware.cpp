@@ -1,0 +1,37 @@
+#include "sim/hardware.h"
+
+#include "tensor/check.h"
+
+namespace actcomp::sim {
+
+ClusterSpec ClusterSpec::aws_p3(int num_nodes) {
+  ACTCOMP_CHECK(num_nodes >= 1, "need at least one node");
+  ClusterSpec c;
+  c.name = num_nodes == 1 ? "aws-p3.8xlarge"
+                          : std::to_string(num_nodes) + "x-aws-p3.8xlarge";
+  c.num_nodes = num_nodes;
+  c.gpus_per_node = 4;
+  c.has_nvlink = true;
+  // Effective collective bandwidth over the hybrid-mesh NVLink fabric.
+  // The paper quotes 40 GB/s per link; ring collectives stripe across the
+  // parallel links, and ~100 GB/s effective reconciles the paper's
+  // TP=4/PP=1 NVLink rows with its TP=1/PP=4 compute-only rows.
+  c.intra_node = {.bandwidth_gb_s = 100.0, .latency_us = 8.0};
+  c.inter_node = {.bandwidth_gb_s = 1.25, .latency_us = 50.0};  // 10 Gbps
+  return c;
+}
+
+ClusterSpec ClusterSpec::local_pcie() {
+  ClusterSpec c;
+  c.name = "local-4xV100-pcie";
+  c.num_nodes = 1;
+  c.gpus_per_node = 4;
+  c.has_nvlink = false;
+  // One shared PCIe bridge: effective 11 GB/s, fitted from Table 4 (see
+  // hardware.h header comment).
+  c.intra_node = {.bandwidth_gb_s = 11.0, .latency_us = 15.0};
+  c.inter_node = {.bandwidth_gb_s = 1.25, .latency_us = 50.0};
+  return c;
+}
+
+}  // namespace actcomp::sim

@@ -1,0 +1,38 @@
+// Pipeline-schedule simulation (GPipe and 1F1B), dependency-exact.
+//
+// Given per-stage forward/backward durations and per-boundary transfer times
+// (all per micro-batch), simulates the schedule op by op and returns the
+// makespan plus the per-stage busy/idle decomposition the paper's breakdown
+// tables report ("Waiting & Pipeline Comm.").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace actcomp::sim {
+
+enum class ScheduleKind { kGpipe, k1F1B };
+
+struct PipelineCosts {
+  /// Per-stage, per-micro-batch compute+TP-comm time.
+  std::vector<double> fwd_ms;
+  std::vector<double> bwd_ms;
+  /// Per-boundary, per-micro-batch p2p transfer time (size = stages - 1).
+  std::vector<double> p2p_fwd_ms;
+  std::vector<double> p2p_bwd_ms;
+  int micro_batches = 1;
+};
+
+struct PipelineResult {
+  double makespan_ms = 0.0;
+  std::vector<double> stage_busy_ms;      ///< sum of op durations per stage
+  std::vector<double> stage_idle_ms;      ///< makespan - busy
+  std::vector<double> boundary_comm_ms;   ///< fwd+bwd transfer total per boundary
+  /// Average over stages of (idle + adjacent boundary transfer time): the
+  /// quantity the paper's "Waiting & Pipeline Comm." column measures.
+  double waiting_and_pipe_ms = 0.0;
+};
+
+PipelineResult simulate_pipeline(const PipelineCosts& costs, ScheduleKind kind);
+
+}  // namespace actcomp::sim

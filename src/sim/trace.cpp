@@ -1,0 +1,52 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "tensor/check.h"
+
+namespace actcomp::sim {
+
+int PipelineTrace::peak_live_activations(int stage) const {
+  // Walk events in time order; a forward on `stage` stashes one micro-batch's
+  // activations, the matching backward releases it.
+  struct Event {
+    double t;
+    int delta;
+  };
+  std::vector<Event> events;
+  for (const TraceOp& op : ops) {
+    if (op.stage != stage) continue;
+    events.push_back({op.backward ? op.end_ms : op.start_ms,
+                      op.backward ? -1 : +1});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // release before stash at equal timestamps
+  });
+  int live = 0, peak = 0;
+  for (const Event& e : events) {
+    live += e.delta;
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+void write_chrome_trace(std::ostream& os, const PipelineTrace& trace) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceOp& op : trace.ops) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << (op.backward ? 'B' : 'F') << op.micro
+       << "\",\"cat\":\"" << (op.backward ? "backward" : "forward")
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << op.stage
+       << ",\"ts\":" << op.start_ms * 1e3
+       << ",\"dur\":" << (op.end_ms - op.start_ms) * 1e3 << '}';
+  }
+  os << "]}";
+  ACTCOMP_CHECK(static_cast<bool>(os), "trace stream write failed");
+}
+
+}  // namespace actcomp::sim

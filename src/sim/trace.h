@@ -1,0 +1,46 @@
+// Execution tracing for the pipeline simulator.
+//
+// simulate_pipeline_traced() returns, in addition to the timing result, the
+// realized start/end of every forward/backward op — enough to reconstruct
+// the schedule — and write_chrome_trace() serializes it in the Chrome
+// tracing JSON format (load in chrome://tracing or Perfetto), with one
+// timeline row per pipeline stage. Also computes the peak number of
+// in-flight activations per stage, the quantity that makes 1F1B preferable
+// to GPipe in practice (bench/ablation_schedule discusses it).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/pipeline.h"
+
+namespace actcomp::sim {
+
+struct TraceOp {
+  int stage = 0;
+  int micro = 0;
+  bool backward = false;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+struct PipelineTrace {
+  PipelineResult result;
+  std::vector<TraceOp> ops;  ///< in realized execution order
+
+  /// Peak count of micro-batches whose forward has run on `stage` but whose
+  /// backward has not yet completed there — the stage's peak stash of live
+  /// activations (GPipe: up to m; 1F1B: at most stages - stage).
+  int peak_live_activations(int stage) const;
+};
+
+PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
+                                       ScheduleKind kind);
+
+/// Chrome tracing JSON ("traceEvents" array of X events; ts/dur in µs,
+/// pid 0, one tid per stage).
+void write_chrome_trace(std::ostream& os, const PipelineTrace& trace);
+
+}  // namespace actcomp::sim

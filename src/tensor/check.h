@@ -1,0 +1,51 @@
+// Lightweight runtime-check macros used across the library.
+//
+// All preconditions on public APIs are enforced with ACTCOMP_CHECK, which
+// throws std::invalid_argument with a formatted message. Internal invariants
+// use ACTCOMP_ASSERT, which throws std::logic_error (these indicate bugs in
+// this library, not caller errors).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace actcomp::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr, const char* file,
+                                              int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace actcomp::detail
+
+#define ACTCOMP_CHECK(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream actcomp_check_os_;                                   \
+      actcomp_check_os_ << msg; /* NOLINT */                                  \
+      ::actcomp::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                             actcomp_check_os_.str());        \
+    }                                                                         \
+  } while (0)
+
+#define ACTCOMP_ASSERT(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream actcomp_check_os_;                                   \
+      actcomp_check_os_ << msg; /* NOLINT */                                  \
+      ::actcomp::detail::throw_assert_failure(#cond, __FILE__, __LINE__,      \
+                                              actcomp_check_os_.str());       \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,29 @@
+// IEEE-754 binary16 emulation.
+//
+// The paper trains BERT-Large in fp16 and all its message-size accounting
+// assumes 2-byte elements. We store math in fp32 but provide exact
+// half-precision round-tripping so that (a) wire formats can quote true fp16
+// byte counts and (b) training can emulate fp16 forward-activation rounding.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace actcomp::tensor {
+
+/// Encode an fp32 value as IEEE binary16 bits (round-to-nearest-even,
+/// overflow to +/-inf, subnormals preserved).
+uint16_t fp32_to_fp16_bits(float v);
+
+/// Decode IEEE binary16 bits to fp32 (exact).
+float fp16_bits_to_fp32(uint16_t bits);
+
+/// Round every element through fp16 and back (the value a V100 tensor core
+/// would have seen).
+Tensor fp16_round(const Tensor& t);
+
+/// Largest finite fp16 value.
+inline constexpr float kFp16Max = 65504.0f;
+
+}  // namespace actcomp::tensor

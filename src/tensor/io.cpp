@@ -1,0 +1,90 @@
+#include "tensor/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "tensor/check.h"
+
+namespace actcomp::tensor {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xAC7C0301;  // "actcomp" v3.1 tensor container
+
+template <typename T>
+void write_pod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  ACTCOMP_CHECK(static_cast<bool>(is), "truncated tensor stream");
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod<uint32_t>(os, static_cast<uint32_t>(t.rank()));
+  for (int i = 0; i < t.rank(); ++i) write_pod<int64_t>(os, t.dim(i));
+  const auto d = t.data();
+  os.write(reinterpret_cast<const char*>(d.data()),
+           static_cast<std::streamsize>(d.size() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  const uint32_t rank = read_pod<uint32_t>(is);
+  ACTCOMP_CHECK(rank <= 8, "implausible tensor rank " << rank << " in stream");
+  std::vector<int64_t> dims(rank);
+  for (uint32_t i = 0; i < rank; ++i) dims[i] = read_pod<int64_t>(is);
+  Tensor t{Shape(dims)};
+  auto d = t.data();
+  is.read(reinterpret_cast<char*>(d.data()),
+          static_cast<std::streamsize>(d.size() * sizeof(float)));
+  ACTCOMP_CHECK(static_cast<bool>(is), "truncated tensor payload");
+  return t;
+}
+
+void write_tensor_map(std::ostream& os, const TensorMap& m) {
+  write_pod<uint32_t>(os, kMagic);
+  write_pod<uint64_t>(os, m.size());
+  for (const auto& [name, t] : m) {
+    write_pod<uint64_t>(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_tensor(os, t);
+  }
+}
+
+TensorMap read_tensor_map(std::istream& is) {
+  ACTCOMP_CHECK(read_pod<uint32_t>(is) == kMagic, "bad tensor-map magic");
+  const uint64_t count = read_pod<uint64_t>(is);
+  TensorMap m;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t len = read_pod<uint64_t>(is);
+    ACTCOMP_CHECK(len <= 4096, "implausible name length " << len);
+    std::string name(len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(len));
+    ACTCOMP_CHECK(static_cast<bool>(is), "truncated tensor name");
+    m.emplace(std::move(name), read_tensor(is));
+  }
+  return m;
+}
+
+void save_tensor_map(const std::string& path, const TensorMap& m) {
+  std::ofstream os(path, std::ios::binary);
+  ACTCOMP_CHECK(os.is_open(), "cannot open " << path << " for writing");
+  write_tensor_map(os, m);
+  ACTCOMP_CHECK(static_cast<bool>(os), "write failed for " << path);
+}
+
+TensorMap load_tensor_map(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ACTCOMP_CHECK(is.is_open(), "cannot open " << path << " for reading");
+  return read_tensor_map(is);
+}
+
+}  // namespace actcomp::tensor

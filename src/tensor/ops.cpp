@@ -1,0 +1,451 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/check.h"
+
+namespace actcomp::tensor {
+
+namespace {
+
+// True if `small` right-aligns with `big` (i.e. small's dims equal big's
+// trailing dims). Identical shapes qualify trivially.
+bool right_aligned(const Shape& big, const Shape& small) {
+  if (small.rank() > big.rank()) return false;
+  const int offset = big.rank() - small.rank();
+  for (int i = 0; i < small.rank(); ++i) {
+    if (small.dim(i) != big.dim(i + offset)) return false;
+  }
+  return true;
+}
+
+template <typename F>
+Tensor binary_broadcast(const Tensor& a, const Tensor& b, F f, const char* name) {
+  ACTCOMP_CHECK(right_aligned(a.shape(), b.shape()),
+                name << ": shape " << b.shape().str()
+                     << " does not right-align with " << a.shape().str());
+  Tensor out(a.shape());
+  const auto da = a.data();
+  const auto db = b.data();
+  auto dout = out.data();
+  const size_t nb = static_cast<size_t>(b.numel());
+  if (nb == da.size()) {
+    for (size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i]);
+  } else {
+    ACTCOMP_CHECK(nb > 0, name << ": empty broadcast operand");
+    for (size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i % nb]);
+  }
+  return out;
+}
+
+template <typename F>
+Tensor unary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const auto da = a.data();
+  auto dout = out.data();
+  for (size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_broadcast(a, b, [](float x, float y) { return x + y; }, "add");
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_broadcast(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_broadcast(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_broadcast(a, b, [](float x, float y) { return x / y; }, "div");
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x * s; });
+}
+
+Tensor neg(const Tensor& a) { return unary(a, [](float x) { return -x; }); }
+Tensor exp(const Tensor& a) { return unary(a, [](float x) { return std::exp(x); }); }
+Tensor log(const Tensor& a) { return unary(a, [](float x) { return std::log(x); }); }
+Tensor sqrt(const Tensor& a) { return unary(a, [](float x) { return std::sqrt(x); }); }
+Tensor abs(const Tensor& a) { return unary(a, [](float x) { return std::fabs(x); }); }
+Tensor tanh(const Tensor& a) { return unary(a, [](float x) { return std::tanh(x); }); }
+Tensor sigmoid(const Tensor& a) {
+  return unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor relu(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+Tensor gelu(const Tensor& a) {
+  return unary(a, [](float x) {
+    const float u = kGeluC * (x + kGeluA * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(u));
+  });
+}
+
+Tensor gelu_grad(const Tensor& a) {
+  return unary(a, [](float x) {
+    const float u = kGeluC * (x + kGeluA * x * x * x);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+  });
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  return unary(a, [&f](float x) { return f(x); });
+}
+
+Tensor matmul2d(const Tensor& a, const Tensor& b) {
+  ACTCOMP_CHECK(a.rank() == 2 && b.rank() == 2,
+                "matmul2d needs rank-2 operands, got " << a.shape().str() << " x "
+                                                       << b.shape().str());
+  const int64_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  ACTCOMP_CHECK(k == k2, "matmul2d inner dims differ: " << a.shape().str() << " x "
+                                                        << b.shape().str());
+  Tensor out(Shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = out.data().data();
+  // i-k-j loop order: innermost loop streams both B's row and C's row.
+  for (int64_t i = 0; i < m; ++i) {
+    float* c_row = pc + i * n;
+    const float* a_row = pa + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() == 2 && b.rank() == 2) return matmul2d(a, b);
+  if (a.rank() == 3 && b.rank() == 2) {
+    const int64_t B = a.dim(0), m = a.dim(1), k = a.dim(2);
+    Tensor flat = a.reshape(Shape{B * m, k});
+    return matmul2d(flat, b).reshape(Shape{B, m, b.dim(1)});
+  }
+  if (a.rank() == 3 && b.rank() == 3) {
+    ACTCOMP_CHECK(a.dim(0) == b.dim(0), "batched matmul batch dims differ: "
+                                            << a.shape().str() << " x "
+                                            << b.shape().str());
+    ACTCOMP_CHECK(a.dim(2) == b.dim(1), "batched matmul inner dims differ: "
+                                            << a.shape().str() << " x "
+                                            << b.shape().str());
+    const int64_t B = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+    Tensor out(Shape{B, m, n});
+    const float* pa = a.data().data();
+    const float* pb = b.data().data();
+    float* pc = out.data().data();
+    for (int64_t batch = 0; batch < B; ++batch) {
+      const float* ba = pa + batch * m * k;
+      const float* bb = pb + batch * k * n;
+      float* bc = pc + batch * m * n;
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float av = ba[i * k + kk];
+          if (av == 0.0f) continue;
+          const float* b_row = bb + kk * n;
+          float* c_row = bc + i * n;
+          for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+        }
+      }
+    }
+    return out;
+  }
+  ACTCOMP_CHECK(false, "matmul: unsupported ranks " << a.rank() << " x " << b.rank());
+}
+
+Tensor transpose_last2(const Tensor& a) {
+  ACTCOMP_CHECK(a.rank() >= 2, "transpose_last2 needs rank >= 2");
+  std::vector<int> axes(static_cast<size_t>(a.rank()));
+  for (int i = 0; i < a.rank(); ++i) axes[static_cast<size_t>(i)] = i;
+  std::swap(axes[axes.size() - 1], axes[axes.size() - 2]);
+  return permute(a, axes);
+}
+
+Tensor permute(const Tensor& a, const std::vector<int>& axes) {
+  const int r = a.rank();
+  ACTCOMP_CHECK(static_cast<int>(axes.size()) == r,
+                "permute axes count " << axes.size() << " != rank " << r);
+  std::vector<bool> seen(static_cast<size_t>(r), false);
+  std::vector<int64_t> out_dims(static_cast<size_t>(r));
+  for (int i = 0; i < r; ++i) {
+    const int ax = axes[static_cast<size_t>(i)];
+    ACTCOMP_CHECK(ax >= 0 && ax < r && !seen[static_cast<size_t>(ax)],
+                  "invalid permutation axis " << ax);
+    seen[static_cast<size_t>(ax)] = true;
+    out_dims[static_cast<size_t>(i)] = a.dim(ax);
+  }
+  Tensor out{Shape(out_dims)};
+  const auto in_strides = a.shape().strides();
+  const auto out_strides = out.shape().strides();
+  const auto din = a.data();
+  auto dout = out.data();
+  const int64_t n = a.numel();
+  // For each output flat index, reconstruct multi-index and map to input.
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t rem = flat;
+    int64_t src = 0;
+    for (int i = 0; i < r; ++i) {
+      const int64_t coord = rem / out_strides[static_cast<size_t>(i)];
+      rem %= out_strides[static_cast<size_t>(i)];
+      src += coord * in_strides[static_cast<size_t>(axes[static_cast<size_t>(i)])];
+    }
+    dout[static_cast<size_t>(flat)] = din[static_cast<size_t>(src)];
+  }
+  return out;
+}
+
+float sum_all(const Tensor& a) {
+  double s = 0.0;
+  for (float v : a.data()) s += v;
+  return static_cast<float>(s);
+}
+
+float mean_all(const Tensor& a) {
+  ACTCOMP_CHECK(a.numel() > 0, "mean_all of empty tensor");
+  return sum_all(a) / static_cast<float>(a.numel());
+}
+
+float max_all(const Tensor& a) {
+  ACTCOMP_CHECK(a.numel() > 0, "max_all of empty tensor");
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : a.data()) m = std::max(m, v);
+  return m;
+}
+
+namespace {
+// Split shape into (rows, cols) where cols is the last dim.
+std::pair<int64_t, int64_t> rows_cols(const Tensor& a) {
+  ACTCOMP_CHECK(a.rank() >= 1, "reduction needs rank >= 1");
+  const int64_t cols = a.dim(-1);
+  const int64_t rows = cols == 0 ? 0 : a.numel() / cols;
+  return {rows, cols};
+}
+
+Shape drop_last(const Shape& s) {
+  std::vector<int64_t> d = s.dims();
+  d.pop_back();
+  return Shape(d);
+}
+}  // namespace
+
+Tensor sum_last(const Tensor& a) {
+  const auto [rows, cols] = rows_cols(a);
+  Tensor out{drop_last(a.shape())};
+  const auto din = a.data();
+  auto dout = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    double s = 0.0;
+    for (int64_t c = 0; c < cols; ++c) s += din[static_cast<size_t>(r * cols + c)];
+    dout[static_cast<size_t>(r)] = static_cast<float>(s);
+  }
+  return out;
+}
+
+Tensor sum_to_last(const Tensor& a) {
+  const auto [rows, cols] = rows_cols(a);
+  Tensor out{Shape{cols}};
+  const auto din = a.data();
+  auto dout = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      dout[static_cast<size_t>(c)] += din[static_cast<size_t>(r * cols + c)];
+    }
+  }
+  return out;
+}
+
+Tensor argmax_last(const Tensor& a) {
+  const auto [rows, cols] = rows_cols(a);
+  ACTCOMP_CHECK(cols > 0, "argmax_last of empty rows");
+  Tensor out{drop_last(a.shape())};
+  const auto din = a.data();
+  auto dout = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t best = 0;
+    float bv = din[static_cast<size_t>(r * cols)];
+    for (int64_t c = 1; c < cols; ++c) {
+      const float v = din[static_cast<size_t>(r * cols + c)];
+      if (v > bv) {
+        bv = v;
+        best = c;
+      }
+    }
+    dout[static_cast<size_t>(r)] = static_cast<float>(best);
+  }
+  return out;
+}
+
+Tensor softmax_last(const Tensor& a) {
+  const auto [rows, cols] = rows_cols(a);
+  Tensor out(a.shape());
+  const auto din = a.data();
+  auto dout = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t base = static_cast<size_t>(r * cols);
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t c = 0; c < cols; ++c) m = std::max(m, din[base + static_cast<size_t>(c)]);
+    double z = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(din[base + static_cast<size_t>(c)] - m);
+      dout[base + static_cast<size_t>(c)] = e;
+      z += e;
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int64_t c = 0; c < cols; ++c) dout[base + static_cast<size_t>(c)] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_last(const Tensor& a) {
+  const auto [rows, cols] = rows_cols(a);
+  Tensor out(a.shape());
+  const auto din = a.data();
+  auto dout = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t base = static_cast<size_t>(r * cols);
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t c = 0; c < cols; ++c) m = std::max(m, din[base + static_cast<size_t>(c)]);
+    double z = 0.0;
+    for (int64_t c = 0; c < cols; ++c) z += std::exp(din[base + static_cast<size_t>(c)] - m);
+    const float lz = m + static_cast<float>(std::log(z));
+    for (int64_t c = 0; c < cols; ++c) {
+      dout[base + static_cast<size_t>(c)] = din[base + static_cast<size_t>(c)] - lz;
+    }
+  }
+  return out;
+}
+
+RowMoments row_moments(const Tensor& a, float eps) {
+  const auto [rows, cols] = rows_cols(a);
+  ACTCOMP_CHECK(cols > 0, "row_moments of empty rows");
+  RowMoments mo{Tensor{drop_last(a.shape())}, Tensor{drop_last(a.shape())}};
+  const auto din = a.data();
+  auto dmean = mo.mean.data();
+  auto drstd = mo.rstd.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t base = static_cast<size_t>(r * cols);
+    double s = 0.0;
+    for (int64_t c = 0; c < cols; ++c) s += din[base + static_cast<size_t>(c)];
+    const double mean = s / static_cast<double>(cols);
+    double var = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const double d = din[base + static_cast<size_t>(c)] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    dmean[static_cast<size_t>(r)] = static_cast<float>(mean);
+    drstd[static_cast<size_t>(r)] = static_cast<float>(1.0 / std::sqrt(var + eps));
+  }
+  return mo;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (size_t i = 0; i < da.size(); ++i) {
+    const float diff = std::fabs(da[i] - db[i]);
+    if (diff > atol + rtol * std::fabs(db[i])) return false;
+  }
+  return true;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  ACTCOMP_CHECK(a.shape() == b.shape(), "max_abs_diff shape mismatch");
+  const auto da = a.data();
+  const auto db = b.data();
+  float m = 0.0f;
+  for (size_t i = 0; i < da.size(); ++i) m = std::max(m, std::fabs(da[i] - db[i]));
+  return m;
+}
+
+float frobenius_norm(const Tensor& a) {
+  double s = 0.0;
+  for (float v : a.data()) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float rel_error(const Tensor& a, const Tensor& b) {
+  ACTCOMP_CHECK(a.shape() == b.shape(), "rel_error shape mismatch");
+  const float nb = frobenius_norm(b);
+  double s = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (size_t i = 0; i < da.size(); ++i) {
+    const double d = static_cast<double>(da[i]) - db[i];
+    s += d * d;
+  }
+  return static_cast<float>(std::sqrt(s)) / std::max(nb, 1e-12f);
+}
+
+Tensor concat_last(const std::vector<Tensor>& parts) {
+  ACTCOMP_CHECK(!parts.empty(), "concat_last of zero tensors");
+  const Shape& first = parts.front().shape();
+  int64_t total_last = 0;
+  for (const Tensor& p : parts) {
+    ACTCOMP_CHECK(p.rank() == first.rank(), "concat_last rank mismatch");
+    for (int i = 0; i + 1 < first.rank(); ++i) {
+      ACTCOMP_CHECK(p.dim(i) == first.dim(i), "concat_last leading-dim mismatch");
+    }
+    total_last += p.dim(-1);
+  }
+  std::vector<int64_t> out_dims = first.dims();
+  out_dims.back() = total_last;
+  Tensor out{Shape(out_dims)};
+  const int64_t rows = total_last == 0 ? 0 : out.numel() / total_last;
+  auto dout = out.data();
+  int64_t col_off = 0;
+  for (const Tensor& p : parts) {
+    const int64_t pc = p.dim(-1);
+    const auto dp = p.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < pc; ++c) {
+        dout[static_cast<size_t>(r * total_last + col_off + c)] =
+            dp[static_cast<size_t>(r * pc + c)];
+      }
+    }
+    col_off += pc;
+  }
+  return out;
+}
+
+Tensor slice_last(const Tensor& a, int64_t start, int64_t len) {
+  const int64_t cols = a.dim(-1);
+  ACTCOMP_CHECK(start >= 0 && len >= 0 && start + len <= cols,
+                "slice_last [" << start << ", " << start + len << ") out of range "
+                               << cols);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims.back() = len;
+  Tensor out{Shape(out_dims)};
+  const int64_t rows = cols == 0 ? 0 : a.numel() / cols;
+  const auto din = a.data();
+  auto dout = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < len; ++c) {
+      dout[static_cast<size_t>(r * len + c)] =
+          din[static_cast<size_t>(r * cols + start + c)];
+    }
+  }
+  return out;
+}
+
+}  // namespace actcomp::tensor

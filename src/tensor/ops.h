@@ -1,0 +1,95 @@
+// Raw (non-differentiable) math kernels over Tensor.
+//
+// These are the primitives the autograd layer composes. Broadcasting is
+// deliberately limited to the two cases the library needs:
+//   * identical shapes, and
+//   * right-aligned broadcast of a lower-rank operand (e.g. adding a [h] bias
+//     to a [b, s, h] activation).
+// Anything fancier is a caller bug and throws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace actcomp::tensor {
+
+// ---- elementwise binary (with right-aligned broadcast of `b`) ----
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// ---- elementwise with scalar ----
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// ---- elementwise unary ----
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor relu(const Tensor& a);
+/// Gaussian error linear unit (tanh approximation, as in BERT).
+Tensor gelu(const Tensor& a);
+/// d gelu(x) / dx, elementwise.
+Tensor gelu_grad(const Tensor& a);
+/// Apply an arbitrary float->float function elementwise (test/helper use).
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+// ---- matmul ----
+/// (m,k) x (k,n) -> (m,n).
+Tensor matmul2d(const Tensor& a, const Tensor& b);
+/// Batched matmul. Accepts:
+///   (B,m,k) x (B,k,n) -> (B,m,n)
+///   (B,m,k) x (k,n)   -> (B,m,n)   (shared right operand)
+///   (m,k)   x (k,n)   -> (m,n)
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Transpose the last two dimensions (materializes; rank >= 2).
+Tensor transpose_last2(const Tensor& a);
+/// General axis permutation (materializes).
+Tensor permute(const Tensor& a, const std::vector<int>& axes);
+
+// ---- reductions ----
+float sum_all(const Tensor& a);
+float mean_all(const Tensor& a);
+float max_all(const Tensor& a);
+/// Sum over the last dimension: [..., n] -> [...].
+Tensor sum_last(const Tensor& a);
+/// Sum over all dimensions except the last: [..., n] -> [n] (bias gradients).
+Tensor sum_to_last(const Tensor& a);
+/// Index of the max element along the last dimension, as floats: [..., n] -> [...].
+Tensor argmax_last(const Tensor& a);
+
+// ---- softmax family (last dimension) ----
+Tensor softmax_last(const Tensor& a);
+Tensor log_softmax_last(const Tensor& a);
+
+// ---- normalization helpers ----
+/// Per-row (last-dim) mean and reciprocal standard deviation, for layernorm.
+struct RowMoments {
+  Tensor mean;  ///< shape = a.shape() minus last dim
+  Tensor rstd;  ///< 1 / sqrt(var + eps), same shape as mean
+};
+RowMoments row_moments(const Tensor& a, float eps);
+
+// ---- comparison helpers (tests) ----
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f, float atol = 1e-6f);
+float max_abs_diff(const Tensor& a, const Tensor& b);
+/// Relative Frobenius-norm error ||a-b|| / max(||b||, tiny).
+float rel_error(const Tensor& a, const Tensor& b);
+float frobenius_norm(const Tensor& a);
+
+// ---- structural ----
+/// Concatenate along the last dimension; all inputs must agree elsewhere.
+Tensor concat_last(const std::vector<Tensor>& parts);
+/// Slice [start, start+len) of the last dimension.
+Tensor slice_last(const Tensor& a, int64_t start, int64_t len);
+
+}  // namespace actcomp::tensor

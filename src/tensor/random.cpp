@@ -1,0 +1,77 @@
+#include "tensor/random.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "tensor/check.h"
+
+namespace actcomp::tensor {
+
+Tensor Generator::normal(Shape shape, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  std::normal_distribution<float> dist(mean, stddev);
+  for (float& v : t.data()) v = dist(engine_);
+  return t;
+}
+
+Tensor Generator::uniform(Shape shape, float lo, float hi) {
+  ACTCOMP_CHECK(lo <= hi, "uniform bounds inverted: [" << lo << ", " << hi << ")");
+  Tensor t(std::move(shape));
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (float& v : t.data()) v = dist(engine_);
+  return t;
+}
+
+int64_t Generator::randint(int64_t lo, int64_t hi) {
+  ACTCOMP_CHECK(lo <= hi, "randint bounds inverted: [" << lo << ", " << hi << "]");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+float Generator::rand_float(float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  return dist(engine_);
+}
+
+float Generator::rand_normal(float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Generator::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<int64_t> Generator::sample_without_replacement(int64_t n, int64_t k) {
+  ACTCOMP_CHECK(k >= 0 && k <= n,
+                "cannot sample " << k << " distinct values from [0, " << n << ")");
+  // Partial Fisher–Yates on a sparse permutation: O(k) time and space even for
+  // huge n (activation tensors have millions of elements).
+  std::unordered_map<int64_t, int64_t> displaced;
+  displaced.reserve(static_cast<size_t>(k) * 2);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = randint(i, n - 1);
+    const auto it_j = displaced.find(j);
+    const int64_t vj = it_j == displaced.end() ? j : it_j->second;
+    const auto it_i = displaced.find(i);
+    const int64_t vi = it_i == displaced.end() ? i : it_i->second;
+    out.push_back(vj);
+    displaced[j] = vi;
+  }
+  return out;
+}
+
+Generator Generator::split() { return Generator(engine_()); }
+
+Tensor xavier_uniform(Generator& gen, Shape shape, int64_t fan_in, int64_t fan_out) {
+  ACTCOMP_CHECK(fan_in > 0 && fan_out > 0, "xavier fan dims must be positive");
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return gen.uniform(std::move(shape), -bound, bound);
+}
+
+}  // namespace actcomp::tensor

@@ -1,0 +1,50 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace actcomp::tensor {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) ACTCOMP_CHECK(d >= 0, "negative extent in shape " << str());
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) ACTCOMP_CHECK(d >= 0, "negative extent in shape " << str());
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+int64_t Shape::dim(int i) const {
+  const int r = rank();
+  if (i < 0) i += r;
+  ACTCOMP_CHECK(i >= 0 && i < r, "dim index " << i << " out of range for rank " << r);
+  return dims_[static_cast<size_t>(i)];
+}
+
+std::vector<int64_t> Shape::strides() const {
+  std::vector<int64_t> s(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    s[static_cast<size_t>(i)] =
+        s[static_cast<size_t>(i) + 1] * dims_[static_cast<size_t>(i) + 1];
+  }
+  return s;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace actcomp::tensor

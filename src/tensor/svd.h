@@ -1,0 +1,29 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// Used for the paper's Figure 2 "low-rank analysis": order the singular
+// values of gradient vs activation matrices and plot their cumulative mass.
+// One-sided Jacobi is simple, numerically robust, and plenty fast for the
+// matrix sizes this reproduction analyzes (up to a few thousand columns).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace actcomp::tensor {
+
+/// Singular values of a rank-2 tensor, in descending order.
+/// Converges when all column pairs are orthogonal to `tol` (relative).
+std::vector<float> singular_values(const Tensor& a, float tol = 1e-7f,
+                                   int max_sweeps = 60);
+
+/// The paper's Fig. 2 y-axis: cumulative singular-value mass.
+/// cum[i] = (s_0 + … + s_i) / (s_0 + … + s_{n-1}), i.e. the "sigma value
+/// percentage" reached by the top (i+1) directions.
+std::vector<float> cumulative_sigma_fraction(const std::vector<float>& sv);
+
+/// Effective rank: the smallest r such that the top-r singular values hold
+/// `fraction` of the total mass. A low-rank matrix has r << min(m, n).
+int effective_rank(const std::vector<float>& sv, float fraction = 0.9f);
+
+}  // namespace actcomp::tensor

@@ -1,0 +1,128 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace actcomp::train {
+
+Optimizer::Optimizer(std::vector<autograd::Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) {
+    ACTCOMP_CHECK(p.defined() && p.requires_grad(),
+                  "optimizer parameter must be a trainable leaf");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+void Optimizer::add_parameters(const std::vector<autograd::Variable>& params) {
+  for (const auto& p : params) {
+    ACTCOMP_CHECK(p.defined() && p.requires_grad(),
+                  "optimizer parameter must be a trainable leaf");
+    params_.push_back(p);
+  }
+}
+
+float Optimizer::clip_grad_norm(float max_norm) {
+  ACTCOMP_CHECK(max_norm > 0.0f, "max_norm must be positive");
+  double total = 0.0;
+  for (const auto& p : params_) {
+    if (!p.has_grad()) continue;
+    for (float g : p.grad().data()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (auto& p : params_) {
+      if (!p.has_grad()) continue;
+      // grad() is const; scale through the node.
+      for (float& g : p.node()->grad.data()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {}
+
+void Sgd::step() {
+  if (velocity_.size() != params_.size()) velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    auto w = p.mutable_value().data();
+    const auto g = p.grad().data();
+    if (momentum_ > 0.0f) {
+      if (velocity_[i].numel() != p.value().numel()) {
+        velocity_[i] = tensor::Tensor::zeros(p.value().shape());
+      }
+      auto v = velocity_[i].data();
+      for (size_t j = 0; j < w.size(); ++j) {
+        v[j] = momentum_ * v[j] + g[j];
+        w[j] -= lr_ * v[j];
+      }
+    } else {
+      for (size_t j = 0; j < w.size(); ++j) w[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {}
+
+void Adam::step() {
+  if (m_.size() != params_.size()) {
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    if (m_[i].numel() != p.value().numel()) {
+      m_[i] = tensor::Tensor::zeros(p.value().shape());
+      v_[i] = tensor::Tensor::zeros(p.value().shape());
+    }
+    auto w = p.mutable_value().data();
+    const auto g = p.grad().data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (size_t j = 0; j < w.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[j]);
+    }
+  }
+}
+
+LinearWarmupSchedule::LinearWarmupSchedule(float peak_lr, int64_t warmup_steps,
+                                           int64_t total_steps)
+    : peak_lr_(peak_lr), warmup_steps_(warmup_steps), total_steps_(total_steps) {
+  ACTCOMP_CHECK(total_steps > 0 && warmup_steps >= 0 && warmup_steps <= total_steps,
+                "bad schedule: warmup " << warmup_steps << " of " << total_steps);
+}
+
+float LinearWarmupSchedule::lr_at(int64_t step) const {
+  if (step < warmup_steps_) {
+    return peak_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return 0.0f;
+  const float frac = static_cast<float>(total_steps_ - step) /
+                     static_cast<float>(total_steps_ - warmup_steps_);
+  return peak_lr_ * frac;
+}
+
+}  // namespace actcomp::train

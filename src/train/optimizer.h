@@ -1,0 +1,79 @@
+// Optimizers over autograd parameters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace actcomp::train {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients (parameters without a
+  /// gradient this step are skipped).
+  virtual void step() = 0;
+
+  void zero_grad();
+
+  /// Append more parameters (e.g. AE codec weights) after construction.
+  void add_parameters(const std::vector<autograd::Variable>& params);
+
+  /// Scale all gradients so the global L2 norm is at most `max_norm`;
+  /// returns the pre-clip norm.
+  float clip_grad_norm(float max_norm);
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  size_t num_parameters() const { return params_.size(); }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+  float lr_;
+};
+
+/// SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam / AdamW (decoupled weight decay, as used for BERT).
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then linear decay to zero
+/// at `total_steps` (the BERT fine-tuning schedule).
+class LinearWarmupSchedule {
+ public:
+  LinearWarmupSchedule(float peak_lr, int64_t warmup_steps, int64_t total_steps);
+  float lr_at(int64_t step) const;
+
+ private:
+  float peak_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+};
+
+}  // namespace actcomp::train

@@ -1,0 +1,185 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include "autograd/functions.h"
+#include "tensor/check.h"
+#include "tensor/ops.h"
+
+namespace actcomp::train {
+
+namespace ag = actcomp::autograd;
+namespace ts = actcomp::tensor;
+
+namespace {
+
+/// Predictions for one classification batch (argmax over logits).
+std::vector<int64_t> predict_classes(nn::BertModel& model,
+                                     const nn::ClassificationHead& head,
+                                     const data::LabeledBatch& batch,
+                                     ts::Generator& gen) {
+  ag::NoGradGuard ng;
+  ag::Variable seq = model.forward(batch.input, gen, /*training=*/false);
+  ag::Variable logits = head.forward(seq);
+  const ts::Tensor am = ts::argmax_last(logits.value());
+  std::vector<int64_t> preds;
+  preds.reserve(am.data().size());
+  for (float v : am.data()) preds.push_back(static_cast<int64_t>(v));
+  return preds;
+}
+
+double metric_value(data::MetricKind kind, const std::vector<int64_t>& preds,
+                    const std::vector<int64_t>& labels,
+                    const std::vector<double>& pred_values,
+                    const std::vector<double>& label_values) {
+  switch (kind) {
+    case data::MetricKind::kAccuracy:
+      return metrics::accuracy(preds, labels);
+    case data::MetricKind::kF1:
+      return metrics::f1_binary(preds, labels);
+    case data::MetricKind::kMatthews:
+      return metrics::matthews_corrcoef(preds, labels);
+    case data::MetricKind::kSpearman:
+      return metrics::spearman(pred_values, label_values);
+  }
+  ACTCOMP_ASSERT(false, "unknown metric kind");
+}
+
+}  // namespace
+
+double evaluate_classification(nn::BertModel& model,
+                               const nn::ClassificationHead& head,
+                               const data::TaskDataset& ds, ts::Generator& gen) {
+  const auto& info = data::task_info(ds.task());
+  std::vector<int64_t> preds;
+  std::vector<int64_t> labels;
+  for (const auto& batch : ds.epoch_batches(32, nullptr)) {
+    auto p = predict_classes(model, head, batch, gen);
+    preds.insert(preds.end(), p.begin(), p.end());
+    labels.insert(labels.end(), batch.class_labels.begin(), batch.class_labels.end());
+  }
+  return 100.0 * metric_value(info.metric, preds, labels, {}, {});
+}
+
+double evaluate_regression(nn::BertModel& model, const nn::RegressionHead& head,
+                           const data::TaskDataset& ds, ts::Generator& gen) {
+  const auto& info = data::task_info(ds.task());
+  std::vector<double> preds;
+  std::vector<double> labels;
+  for (const auto& batch : ds.epoch_batches(32, nullptr)) {
+    ag::NoGradGuard ng;
+    ag::Variable seq = model.forward(batch.input, gen, /*training=*/false);
+    ag::Variable y = head.forward(seq);
+    for (float v : y.value().data()) preds.push_back(v);
+    for (float v : batch.value_labels) labels.push_back(v);
+  }
+  return 100.0 * metric_value(info.metric, {}, {}, preds, labels);
+}
+
+FinetuneResult finetune(nn::BertModel& model, const data::TaskDataset& train,
+                        const data::TaskDataset& dev, const FinetuneConfig& cfg,
+                        const core::CompressionBinder* binder) {
+  ACTCOMP_CHECK(train.task() == dev.task(), "train/dev task mismatch");
+  const auto& info = data::task_info(train.task());
+  const bool regression = info.num_classes == 0;
+
+  ts::Generator gen(cfg.seed);
+  const int64_t hidden = model.config().hidden;
+
+  std::optional<nn::ClassificationHead> cls_head;
+  std::optional<nn::RegressionHead> reg_head;
+  std::vector<ag::Variable> head_params;
+  if (regression) {
+    reg_head.emplace(hidden, gen);
+    head_params = reg_head->parameters();
+  } else {
+    cls_head.emplace(hidden, info.num_classes, gen);
+    head_params = cls_head->parameters();
+  }
+
+  const int64_t batches_per_epoch =
+      (train.size() + cfg.batch_size - 1) / cfg.batch_size;
+  const int64_t total_steps = batches_per_epoch * cfg.epochs;
+  const auto warmup =
+      static_cast<int64_t>(cfg.warmup_frac * static_cast<float>(total_steps));
+  LinearWarmupSchedule schedule(cfg.lr, warmup, total_steps);
+
+  Adam opt(model.parameters(), cfg.lr, 0.9f, 0.999f, 1e-8f, 0.01f);
+  opt.add_parameters(head_params);
+  if (binder != nullptr) opt.add_parameters(binder->codec_parameters());
+
+  FinetuneResult result;
+  double last_loss = 0.0;
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (const auto& batch : train.epoch_batches(cfg.batch_size, &gen)) {
+      opt.set_lr(schedule.lr_at(step));
+      opt.zero_grad();
+      ag::Variable seq = model.forward(batch.input, gen, /*training=*/true);
+      ag::Variable loss;
+      if (regression) {
+        ag::Variable y = reg_head->forward(seq);
+        loss = ag::mse_loss(
+            y, ts::Tensor(ts::Shape{static_cast<int64_t>(batch.value_labels.size())},
+                          std::vector<float>(batch.value_labels.begin(),
+                                             batch.value_labels.end())));
+      } else {
+        ag::Variable logits = cls_head->forward(seq);
+        loss = ag::softmax_cross_entropy(logits, batch.class_labels);
+      }
+      loss.backward();
+      opt.clip_grad_norm(cfg.clip_norm);
+      opt.step();
+      last_loss = loss.value().item();
+      ++step;
+    }
+  }
+  result.final_train_loss = last_loss;
+  result.steps = step;
+  result.dev_metric = regression
+                          ? evaluate_regression(model, *reg_head, dev, gen)
+                          : evaluate_classification(model, *cls_head, dev, gen);
+  return result;
+}
+
+PretrainResult pretrain_mlm(nn::BertModel& model, nn::MlmHead& head,
+                            const data::PretrainCorpus& corpus,
+                            const PretrainConfig& cfg,
+                            const core::CompressionBinder* binder) {
+  ts::Generator gen(cfg.seed);
+  const auto warmup =
+      static_cast<int64_t>(cfg.warmup_frac * static_cast<float>(cfg.steps));
+  LinearWarmupSchedule schedule(cfg.lr, warmup, cfg.steps);
+
+  Adam opt(model.parameters(), cfg.lr, 0.9f, 0.999f, 1e-8f, 0.01f);
+  opt.add_parameters(head.parameters());
+  if (binder != nullptr) opt.add_parameters(binder->codec_parameters());
+
+  PretrainResult result;
+  result.steps = cfg.steps;
+  const int64_t tail_begin = cfg.steps - std::max<int64_t>(1, cfg.steps / 10);
+  double tail_sum = 0.0;
+  int64_t tail_count = 0;
+  for (int64_t step = 0; step < cfg.steps; ++step) {
+    opt.set_lr(schedule.lr_at(step));
+    opt.zero_grad();
+    const data::MlmBatch batch = corpus.sample_mlm_batch(cfg.batch_size, cfg.seq, gen);
+    ag::Variable seq = model.forward(batch.input, gen, /*training=*/true);
+    ag::Variable logits = head.forward(seq);  // [b*s, V]
+    ag::Variable loss = ag::softmax_cross_entropy_masked(logits, batch.labels,
+                                                         data::MlmBatch::kIgnore);
+    loss.backward();
+    opt.clip_grad_norm(cfg.clip_norm);
+    opt.step();
+    const double lv = loss.value().item();
+    if (step == 0) result.initial_loss = lv;
+    if (step >= tail_begin) {
+      tail_sum += lv;
+      ++tail_count;
+    }
+  }
+  result.final_loss = tail_count > 0 ? tail_sum / static_cast<double>(tail_count) : 0.0;
+  return result;
+}
+
+}  // namespace actcomp::train

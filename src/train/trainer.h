@@ -1,0 +1,72 @@
+// Fine-tuning and pre-training loops (the paper's two scenarios, §4).
+//
+// The trainer operates on a real BertModel with an optional CompressionBinder
+// attached: compression happens inside the forward pass at the exact tensors
+// the paper compresses, and AE codec parameters train jointly with the task.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/binder.h"
+#include "data/dataset.h"
+#include "data/pretrain.h"
+#include "metrics/metrics.h"
+#include "nn/bert.h"
+#include "train/optimizer.h"
+
+namespace actcomp::train {
+
+struct FinetuneConfig {
+  int64_t batch_size = 16;
+  int64_t epochs = 3;
+  float lr = 3e-4f;
+  float warmup_frac = 0.1f;
+  float clip_norm = 1.0f;
+  uint64_t seed = 1234;
+};
+
+struct FinetuneResult {
+  double dev_metric = 0.0;       ///< in the paper's units (x100 score)
+  double final_train_loss = 0.0;
+  int64_t steps = 0;
+};
+
+struct PretrainConfig {
+  int64_t batch_size = 16;
+  int64_t steps = 200;
+  int64_t seq = 32;
+  float lr = 1e-3f;
+  float warmup_frac = 0.05f;
+  float clip_norm = 1.0f;
+  uint64_t seed = 99;
+};
+
+struct PretrainResult {
+  double initial_loss = 0.0;
+  double final_loss = 0.0;  ///< mean MLM loss over the last 10% of steps
+  int64_t steps = 0;
+};
+
+/// Fine-tune `model` + a fresh task head on `train`, then evaluate on `dev`
+/// with the task's official metric (x100, as the paper reports). `binder`
+/// (may be null) supplies AE codec parameters for the optimizer.
+FinetuneResult finetune(nn::BertModel& model, const data::TaskDataset& train,
+                        const data::TaskDataset& dev, const FinetuneConfig& cfg,
+                        const core::CompressionBinder* binder);
+
+/// Evaluate `model` + `head` on `ds`, returning the task metric x100.
+double evaluate_classification(nn::BertModel& model,
+                               const nn::ClassificationHead& head,
+                               const data::TaskDataset& ds,
+                               tensor::Generator& gen);
+double evaluate_regression(nn::BertModel& model, const nn::RegressionHead& head,
+                           const data::TaskDataset& ds, tensor::Generator& gen);
+
+/// MLM pre-training on the synthetic corpus.
+PretrainResult pretrain_mlm(nn::BertModel& model, nn::MlmHead& head,
+                            const data::PretrainCorpus& corpus,
+                            const PretrainConfig& cfg,
+                            const core::CompressionBinder* binder);
+
+}  // namespace actcomp::train

@@ -1,0 +1,153 @@
+// Tests for the extension compressors: the PowerSGD-style low-rank
+// factorizer (implemented to demonstrate the paper's §2.2 exclusion
+// argument) and the hybrid AE+quantization codec (the paper's future-work
+// direction).
+#include <gtest/gtest.h>
+
+#include "autograd/functions.h"
+#include "compress/hybrid.h"
+#include "compress/lowrank.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/svd.h"
+
+namespace ts = actcomp::tensor;
+namespace cp = actcomp::compress;
+namespace ag = actcomp::autograd;
+
+namespace {
+/// A genuinely low-rank matrix: sum of `rank` outer products.
+ts::Tensor low_rank_matrix(ts::Generator& gen, int64_t rows, int64_t cols,
+                           int64_t rank) {
+  ts::Tensor u = gen.normal(ts::Shape{rows, rank});
+  ts::Tensor v = gen.normal(ts::Shape{rank, cols});
+  return ts::matmul2d(u, v);
+}
+}  // namespace
+
+// ---------- low-rank ----------
+
+TEST(LowRank, RecoversExactlyLowRankInput) {
+  ts::Generator gen(1);
+  const ts::Tensor x = low_rank_matrix(gen, 40, 24, 3);
+  cp::LowRankCompressor c(4, 7, /*power_iterations=*/3);
+  EXPECT_LT(ts::rel_error(c.round_trip(x), x), 0.02f);
+}
+
+TEST(LowRank, FailsOnFullRankActivations) {
+  // The paper's Fig. 2 point, as a unit test: at the same wire budget where
+  // a gradient-like (low-rank) matrix reconstructs almost exactly, a
+  // full-rank activation-like matrix keeps a large error.
+  ts::Generator gen(2);
+  const ts::Tensor grad_like = low_rank_matrix(gen, 64, 32, 2);
+  const ts::Tensor act_like = gen.normal(ts::Shape{64, 32});
+  cp::LowRankCompressor c(4, 7, 3);
+  EXPECT_LT(ts::rel_error(c.round_trip(grad_like), grad_like), 0.05f);
+  EXPECT_GT(ts::rel_error(c.round_trip(act_like), act_like), 0.5f);
+}
+
+TEST(LowRank, WireSizeMatchesEncodedBytes) {
+  ts::Generator gen(3);
+  cp::LowRankCompressor c(5, 9);
+  const ts::Tensor x = gen.normal(ts::Shape{6, 8, 16});
+  EXPECT_EQ(c.wire_size(x.shape()).total_bytes(), c.encode(x).body_bytes());
+}
+
+TEST(LowRank, EncodeDecodeMatchesRoundTrip) {
+  ts::Generator gen(4);
+  const ts::Tensor x = low_rank_matrix(gen, 20, 12, 2);
+  cp::LowRankCompressor via_wire(3, 11, 2);
+  cp::LowRankCompressor direct(3, 11, 2);
+  EXPECT_LT(ts::rel_error(via_wire.decode(via_wire.encode(x)),
+                          direct.round_trip(x)),
+            0.02f);
+}
+
+TEST(LowRank, RankClampedToMatrixDims) {
+  ts::Generator gen(5);
+  cp::LowRankCompressor c(100, 13);
+  const ts::Tensor x = gen.normal(ts::Shape{6, 4});
+  // r clamps to 4; factorization is then exact up to fp16.
+  EXPECT_LT(ts::rel_error(c.round_trip(x), x), 0.01f);
+  EXPECT_EQ(c.wire_size(x.shape()).total_bytes(), (6 + 4) * 4 * 2 + 4);
+}
+
+TEST(LowRank, RankForBudgetInverse) {
+  const ts::Shape shape{128, 64};
+  const int64_t budget = 8192;
+  const int64_t r = cp::LowRankCompressor::rank_for_budget(shape, budget);
+  cp::LowRankCompressor c(r, 1);
+  EXPECT_LE(c.wire_size(shape).total_bytes(), budget + 4);
+}
+
+TEST(LowRank, InvalidArgsThrow) {
+  EXPECT_THROW(cp::LowRankCompressor(0, 1), std::invalid_argument);
+  EXPECT_THROW(cp::LowRankCompressor(1, 1, 0), std::invalid_argument);
+}
+
+// ---------- hybrid ----------
+
+TEST(Hybrid, WireSizeMatchesEncodedBytes) {
+  ts::Generator gen(6);
+  cp::HybridAeQuantCompressor c(32, 8, 4, gen);
+  const ts::Tensor x = gen.normal(ts::Shape{4, 6, 32});
+  EXPECT_EQ(c.wire_size(x.shape()).total_bytes(), c.encode(x).body_bytes());
+}
+
+TEST(Hybrid, SmallerWireThanPlainAe) {
+  // Quantizing the code to 4 bits shrinks the AE's fp16 message ~4x
+  // (minus the per-row affine params).
+  ts::Generator gen(7);
+  cp::HybridAeQuantCompressor hybrid(32, 8, 4, gen);
+  cp::AutoencoderCompressor plain(32, 8, gen);
+  const ts::Shape shape{16, 8, 32};
+  // 4-bit codes + per-row affine params: ~half of the fp16 AE message.
+  EXPECT_LE(hybrid.wire_size(shape).total_bytes(),
+            plain.wire_size(shape).total_bytes() / 2);
+  // At 2 bits the saving clears 60%.
+  cp::HybridAeQuantCompressor hybrid2(32, 8, 2, gen);
+  EXPECT_LT(hybrid2.wire_size(shape).total_bytes(),
+            (plain.wire_size(shape).total_bytes() * 2) / 5);
+}
+
+TEST(Hybrid, EncodeDecodeMatchesRoundTrip) {
+  ts::Generator gen(8);
+  cp::HybridAeQuantCompressor c(16, 4, 8, gen);
+  const ts::Tensor x = gen.normal(ts::Shape{5, 16});
+  EXPECT_TRUE(ts::allclose(c.decode(c.encode(x)), c.round_trip(x), 1e-4f, 1e-4f));
+}
+
+TEST(Hybrid, TrainsJointlyLikeAe) {
+  // Gradient flows through the straight-through quantizer to the codec
+  // weights and reduces reconstruction error on subspace data.
+  ts::Generator gen(9);
+  cp::HybridAeQuantCompressor c(16, 8, 8, gen);
+  const ts::Tensor basis = gen.normal(ts::Shape{8, 16});
+  auto sample = [&]() {
+    return ts::matmul2d(gen.normal(ts::Shape{24, 8}), basis);
+  };
+  const ts::Tensor probe = sample();
+  const float before = ts::rel_error(c.round_trip(probe), probe);
+  for (int step = 0; step < 250; ++step) {
+    const ts::Tensor x = sample();
+    ag::Variable xv = ag::Variable::leaf(x);
+    ag::Variable loss = ag::mse_loss(c.apply(xv), x);
+    loss.backward();
+    for (auto& p : c.parameters()) {
+      auto w = p.mutable_value().data();
+      const auto g = p.grad().data();
+      for (size_t i = 0; i < w.size(); ++i) w[i] -= 0.05f * g[i];
+      p.zero_grad();
+    }
+  }
+  const float after = ts::rel_error(c.round_trip(probe), probe);
+  EXPECT_LT(after, before * 0.6f);
+  EXPECT_LT(after, 0.3f);
+}
+
+TEST(Hybrid, NotAllreduceCompatible) {
+  ts::Generator gen(10);
+  cp::HybridAeQuantCompressor c(16, 4, 4, gen);
+  EXPECT_FALSE(c.allreduce_compatible());
+  EXPECT_EQ(c.parameters().size(), 2u);
+}

@@ -1,0 +1,121 @@
+// Tests for the §4.7 analytical performance model: formula identities,
+// fitting behaviour, and the paper's qualitative scaling claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/perf_model.h"
+#include "sim/hardware.h"
+
+namespace pf = actcomp::perf;
+namespace sm = actcomp::sim;
+
+namespace {
+pf::PerfModelParams fitted(const sm::ClusterSpec& cluster, int tp) {
+  return pf::fit_perf_model(cluster, tp, 16, 128,
+                            {256, 512, 1024, 2048, 4096, 8192, 12288}, 100);
+}
+}  // namespace
+
+TEST(PerfModel, LayerFlopsFormula) {
+  // 96*B*s*h^2 + 16*B*s^2*h at B=1, s=2, h=4: 96*1*2*16 + 16*1*4*4 = 3328.
+  EXPECT_DOUBLE_EQ(pf::layer_flops(1, 2, 4), 3328.0);
+}
+
+TEST(PerfModel, CommIsPiecewise) {
+  pf::PerfModelParams p;
+  p.comm_const_ms = 0.2;
+  p.comm_threshold_elems = 1000;
+  p.beta_ms_per_elem = 0.01;
+  EXPECT_DOUBLE_EQ(pf::t_comm(p, 10), 0.2);
+  EXPECT_DOUBLE_EQ(pf::t_comm(p, 999), 0.2);
+  EXPECT_DOUBLE_EQ(pf::t_comm(p, 2000), 20.0);
+}
+
+TEST(PerfModel, MeasurementsGrowWithHidden) {
+  const auto small = pf::measure_layer(sm::ClusterSpec::aws_p3(1), 4, 16, 128, 512, 100);
+  const auto large = pf::measure_layer(sm::ClusterSpec::aws_p3(1), 4, 16, 128, 8192, 100);
+  EXPECT_GT(large.comp_ms, small.comp_ms * 50);   // ~quadratic in h
+  EXPECT_GT(large.comm_ms, small.comm_ms * 4);    // ~linear in h
+  EXPECT_GT(large.ae_overhead_ms, small.ae_overhead_ms * 4);
+}
+
+TEST(PerfModel, FitPredictsLargeHiddenCompute) {
+  const auto p = fitted(sm::ClusterSpec::aws_p3(1), 4);
+  // Prediction at the largest fitted point must be near the measurement.
+  const auto m = pf::measure_layer(sm::ClusterSpec::aws_p3(1), 4, 16, 128, 12288, 100);
+  // alpha absorbs the tensor-parallel division (fitted at tp=4).
+  const double pred = pf::t_comp(p, pf::layer_flops(16, 128, 12288));
+  EXPECT_NEAR(pred / m.comp_ms, 1.0, 0.05);
+}
+
+TEST(PerfModel, AlphaFromSmallHiddenOverpredicts) {
+  // The paper's §4.7 warning: fitting alpha at a small hidden size inflates
+  // large-h predictions badly (low GPU utilization at small sizes).
+  const auto cluster = sm::ClusterSpec::aws_p3(1);
+  const auto small = pf::measure_layer(cluster, 4, 16, 128, 128, 100);
+  const double alpha_small = small.comp_ms / (pf::layer_flops(16, 128, 128) / 4.0);
+  const auto big = pf::measure_layer(cluster, 4, 16, 128, 12288, 100);
+  const double pred_big = alpha_small * pf::layer_flops(16, 128, 12288) / 4.0;
+  EXPECT_GT(pred_big / big.comp_ms, 5.0);  // paper reports up to 30x
+}
+
+TEST(PerfModel, FittedGammaPredictsAeOverhead) {
+  const auto cluster = sm::ClusterSpec::aws_p3(1);
+  const auto p = fitted(cluster, 4);
+  const auto m = pf::measure_layer(cluster, 4, 16, 128, 8192, 100);
+  EXPECT_NEAR(pf::t_overhead(p, 16, 128, 8192) / m.ae_overhead_ms, 1.0, 0.2);
+}
+
+TEST(PerfModel, SingleNodeSpeedupAtLeastOneAndDiminishing) {
+  // Eq. 2 / the paper's "understanding the trend": AE speedup decays toward
+  // 1 as hidden grows on a fixed node.
+  const auto p = fitted(sm::ClusterSpec::local_pcie(), 4);
+  double prev = 1e9;
+  for (int64_t h : {2048, 4096, 8192, 16384}) {
+    const double s = pf::speedup_single_node(p, 16, 128, h, 100);
+    EXPECT_GE(s, 0.95) << h;
+    EXPECT_LE(s, prev + 1e-9) << h;
+    prev = s;
+  }
+}
+
+TEST(PerfModel, ClusterFormulaReducesToSingleNode) {
+  const auto p = fitted(sm::ClusterSpec::aws_p3(1), 4);
+  const double eq2 = pf::speedup_single_node(p, 16, 128, 4096, 100);
+  const double eq3 = pf::speedup_cluster(p, 16, 128, 4096, 100, 40, 1, 64, 1e6);
+  EXPECT_NEAR(eq2, eq3, 1e-9);
+}
+
+TEST(PerfModel, PipelineTermFavorsCompressionAtLowBandwidth) {
+  const auto p = fitted(sm::ClusterSpec::aws_p3(1), 4);
+  // Same configuration, two inter-node bandwidths: the slower network gives
+  // compression a larger win (Takeaway 4's mechanism).
+  const double slow = pf::speedup_cluster(p, 16, 128, 4096, 100, 40, 8, 64, 1e4);
+  const double fast = pf::speedup_cluster(p, 16, 128, 4096, 100, 40, 8, 64, 1e7);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(PerfModel, WeakScalingShape) {
+  // Table 10's qualitative claim: scaling nodes with hidden size retains a
+  // roughly flat speedup, instead of the fixed-cluster decay.
+  const auto cluster = sm::ClusterSpec::aws_p3(1);
+  const auto p = fitted(cluster, 4);
+  const auto rows = pf::weak_scaling_table(p, cluster, 100);
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows.front().hidden, 6144);
+  EXPECT_EQ(rows.back().nodes, 64);
+  for (const auto& r : rows) {
+    EXPECT_GE(r.speedup, 0.95) << r.hidden;
+  }
+  // Flatness: last row within 60% of the first (vs the >10x decay a fixed
+  // cluster would show over a 4x hidden-size increase).
+  EXPECT_GT(rows.back().speedup, 0.4 * rows.front().speedup);
+}
+
+TEST(PerfModel, BadFitInputsThrow) {
+  EXPECT_THROW(pf::fit_perf_model(sm::ClusterSpec::aws_p3(1), 4, 16, 128, {1024}, 100),
+               std::invalid_argument);
+  EXPECT_THROW(pf::speedup_cluster(pf::PerfModelParams{}, 16, 128, 1024, 100, 0, 1, 1, 1.0),
+               std::invalid_argument);
+}

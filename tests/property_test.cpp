@@ -1,0 +1,257 @@
+// Property-based suites (parameterized sweeps) over the library's core
+// invariants: algebraic identities of the tensor kernels, idempotence and
+// monotonicity of the compressors, and scheduling bounds of the pipeline
+// simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "compress/quantize.h"
+#include "compress/settings.h"
+#include "compress/topk.h"
+#include "sim/pipeline.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ts = actcomp::tensor;
+namespace cp = actcomp::compress;
+namespace sm = actcomp::sim;
+
+// ---------- tensor algebra ----------
+
+class TensorAlgebra : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TensorAlgebra, MatmulDistributesOverAddition) {
+  ts::Generator gen(GetParam());
+  const ts::Tensor a = gen.normal(ts::Shape{5, 7});
+  const ts::Tensor b = gen.normal(ts::Shape{5, 7});
+  const ts::Tensor c = gen.normal(ts::Shape{7, 4});
+  const ts::Tensor lhs = ts::matmul2d(ts::add(a, b), c);
+  const ts::Tensor rhs = ts::add(ts::matmul2d(a, c), ts::matmul2d(b, c));
+  EXPECT_LT(ts::rel_error(lhs, rhs), 1e-5f);
+}
+
+TEST_P(TensorAlgebra, TransposeReversesMatmul) {
+  // (AB)^T == B^T A^T
+  ts::Generator gen(GetParam() + 100);
+  const ts::Tensor a = gen.normal(ts::Shape{4, 6});
+  const ts::Tensor b = gen.normal(ts::Shape{6, 3});
+  const ts::Tensor lhs = ts::transpose_last2(ts::matmul2d(a, b));
+  const ts::Tensor rhs =
+      ts::matmul2d(ts::transpose_last2(b), ts::transpose_last2(a));
+  EXPECT_LT(ts::rel_error(lhs, rhs), 1e-5f);
+}
+
+TEST_P(TensorAlgebra, SoftmaxIsShiftInvariant) {
+  ts::Generator gen(GetParam() + 200);
+  const ts::Tensor a = gen.normal(ts::Shape{6, 9}, 0.0f, 3.0f);
+  const ts::Tensor shifted = ts::add_scalar(a, 123.0f);
+  EXPECT_LT(ts::max_abs_diff(ts::softmax_last(a), ts::softmax_last(shifted)), 1e-5f);
+}
+
+TEST_P(TensorAlgebra, SumDecomposesOverSlices) {
+  ts::Generator gen(GetParam() + 300);
+  const ts::Tensor a = gen.normal(ts::Shape{4, 10});
+  const float whole = ts::sum_all(a);
+  const float parts =
+      ts::sum_all(ts::slice_last(a, 0, 3)) + ts::sum_all(ts::slice_last(a, 3, 7));
+  EXPECT_NEAR(whole, parts, 1e-4f);
+}
+
+TEST_P(TensorAlgebra, PermuteIsNormPreserving) {
+  ts::Generator gen(GetParam() + 400);
+  const ts::Tensor a = gen.normal(ts::Shape{3, 4, 5});
+  EXPECT_NEAR(ts::frobenius_norm(ts::permute(a, {2, 0, 1})),
+              ts::frobenius_norm(a), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorAlgebra,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- compressor properties ----------
+
+struct SparseCase {
+  double fraction;
+  uint64_t seed;
+};
+
+class TopKProperties
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(TopKProperties, RoundTripIsIdempotent) {
+  const auto [fraction, seed] = GetParam();
+  cp::TopKCompressor c(fraction);
+  ts::Generator gen(seed);
+  const ts::Tensor x = gen.normal(ts::Shape{8, 33}, 0.0f, 2.0f);
+  const ts::Tensor once = c.round_trip(x);
+  const ts::Tensor twice = c.round_trip(once);
+  EXPECT_TRUE(ts::allclose(once, twice, 0, 0));
+}
+
+TEST_P(TopKProperties, ReconstructionNeverWorseThanZero) {
+  // ||topk(x) - x|| <= ||x|| always (it only removes energy).
+  const auto [fraction, seed] = GetParam();
+  cp::TopKCompressor c(fraction);
+  ts::Generator gen(seed + 50);
+  const ts::Tensor x = gen.normal(ts::Shape{6, 40}, 0.0f, 1.5f);
+  EXPECT_LE(ts::rel_error(c.round_trip(x), x), 1.0f + 1e-4f);
+}
+
+TEST_P(TopKProperties, KeptEnergyIsMaximal) {
+  // No other mask of the same size retains more energy than top-k.
+  const auto [fraction, seed] = GetParam();
+  cp::TopKCompressor c(fraction);
+  ts::Generator gen(seed + 99);
+  const ts::Tensor x = gen.normal(ts::Shape{128}, 0.0f, 2.0f);
+  const ts::Tensor kept = c.round_trip(x);
+  // Energy kept by top-k:
+  double topk_energy = 0;
+  for (float v : kept.data()) topk_energy += static_cast<double>(v) * v;
+  // Energy kept by a random mask of the same cardinality:
+  const int64_t k = c.k_for(x.numel());
+  double rand_energy = 0;
+  for (int64_t i : gen.sample_without_replacement(x.numel(), k)) {
+    const float v = x.data()[static_cast<size_t>(i)];
+    rand_energy += static_cast<double>(v) * v;
+  }
+  EXPECT_GE(topk_energy + 1e-6, rand_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FractionsAndSeeds, TopKProperties,
+    ::testing::Combine(::testing::Values(0.016276, 0.048828, 0.25, 0.9),
+                       ::testing::Values(11u, 22u, 33u)));
+
+class QuantProperties
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(QuantProperties, RoundTripIsIdempotent) {
+  const auto [bits, seed] = GetParam();
+  cp::QuantizeCompressor c(bits);
+  ts::Generator gen(seed);
+  const ts::Tensor x = gen.normal(ts::Shape{5, 17}, 0.0f, 4.0f);
+  const ts::Tensor once = c.round_trip(x);
+  const ts::Tensor twice = c.round_trip(once);
+  EXPECT_LT(ts::max_abs_diff(once, twice), 1e-3f);
+}
+
+TEST_P(QuantProperties, PreservesRowExtremesApproximately) {
+  const auto [bits, seed] = GetParam();
+  cp::QuantizeCompressor c(bits);
+  ts::Generator gen(seed + 7);
+  const ts::Tensor x = gen.normal(ts::Shape{4, 32}, 0.0f, 3.0f);
+  const ts::Tensor y = c.round_trip(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    float xmin = 1e9f, xmax = -1e9f, ymin = 1e9f, ymax = -1e9f;
+    for (int64_t col = 0; col < 32; ++col) {
+      xmin = std::min(xmin, x.at({r, col}));
+      xmax = std::max(xmax, x.at({r, col}));
+      ymin = std::min(ymin, y.at({r, col}));
+      ymax = std::max(ymax, y.at({r, col}));
+    }
+    // min/max are representable points of the affine grid (fp16-rounded).
+    EXPECT_NEAR(xmin, ymin, std::fabs(xmin) * 0.01f + 0.05f);
+    EXPECT_NEAR(xmax, ymax, std::fabs(xmax) * 0.01f + 0.05f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsAndSeeds, QuantProperties,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(5u, 6u)));
+
+TEST(CompressorMonotonicity, TopKErrorDecreasesWithFraction) {
+  ts::Generator gen(77);
+  const ts::Tensor x = gen.normal(ts::Shape{16, 64}, 0.0f, 2.0f);
+  double prev = 1e9;
+  for (double f : {0.01, 0.05, 0.2, 0.5, 0.95}) {
+    cp::TopKCompressor c(f);
+    const double err = ts::rel_error(c.round_trip(x), x);
+    EXPECT_LT(err, prev) << f;
+    prev = err;
+  }
+}
+
+TEST(CompressorMonotonicity, WireBytesGrowWithFidelityKnob) {
+  ts::Generator gen(78);
+  const ts::Shape shape{8, 16, 64};
+  // Top-K: bytes grow with fraction.
+  int64_t prev = 0;
+  for (double f : {0.01, 0.05, 0.2}) {
+    cp::TopKCompressor c(f);
+    const int64_t b = c.wire_size(shape).total_bytes();
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+  // Quant: bytes grow with bit width.
+  prev = 0;
+  for (int bits : {2, 4, 8}) {
+    cp::QuantizeCompressor c(bits);
+    const int64_t b = c.wire_size(shape).total_bytes();
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+// ---------- pipeline schedule bounds ----------
+
+class PipelineBounds
+    : public ::testing::TestWithParam<std::tuple<int, int, sm::ScheduleKind>> {};
+
+TEST_P(PipelineBounds, MakespanRespectsLowerBounds) {
+  const auto [stages, micros, kind] = GetParam();
+  sm::PipelineCosts c;
+  ts::Generator gen(static_cast<uint64_t>(stages * 100 + micros));
+  for (int s = 0; s < stages; ++s) {
+    c.fwd_ms.push_back(5.0 + gen.rand_float(0, 5));
+    c.bwd_ms.push_back(10.0 + gen.rand_float(0, 5));
+  }
+  for (int b = 0; b + 1 < stages; ++b) {
+    c.p2p_fwd_ms.push_back(gen.rand_float(0, 2));
+    c.p2p_bwd_ms.push_back(gen.rand_float(0, 2));
+  }
+  c.micro_batches = micros;
+  const auto r = sm::simulate_pipeline(c, kind);
+
+  // Bound 1: no stage can finish before doing all its own work.
+  for (int s = 0; s < stages; ++s) {
+    EXPECT_GE(r.makespan_ms + 1e-9, r.stage_busy_ms[static_cast<size_t>(s)]);
+  }
+  // Bound 2: the first micro-batch's full traversal is a critical path.
+  double traversal = 0;
+  for (int s = 0; s < stages; ++s) {
+    traversal += c.fwd_ms[static_cast<size_t>(s)] + c.bwd_ms[static_cast<size_t>(s)];
+  }
+  for (int b = 0; b + 1 < stages; ++b) {
+    traversal += c.p2p_fwd_ms[static_cast<size_t>(b)] + c.p2p_bwd_ms[static_cast<size_t>(b)];
+  }
+  EXPECT_GE(r.makespan_ms + 1e-9, traversal);
+  // Bound 3: idle = makespan - busy, non-negative.
+  for (int s = 0; s < stages; ++s) {
+    EXPECT_GE(r.stage_idle_ms[static_cast<size_t>(s)], -1e-9);
+  }
+}
+
+TEST_P(PipelineBounds, MakespanMonotoneInMicroBatches) {
+  const auto [stages, micros, kind] = GetParam();
+  sm::PipelineCosts c;
+  for (int s = 0; s < stages; ++s) {
+    c.fwd_ms.push_back(7.0);
+    c.bwd_ms.push_back(13.0);
+  }
+  c.p2p_fwd_ms.assign(static_cast<size_t>(stages - 1), 1.0);
+  c.p2p_bwd_ms.assign(static_cast<size_t>(stages - 1), 1.0);
+  c.micro_batches = micros;
+  const double t1 = sm::simulate_pipeline(c, kind).makespan_ms;
+  c.micro_batches = micros + 1;
+  const double t2 = sm::simulate_pipeline(c, kind).makespan_ms;
+  EXPECT_GT(t2, t1);
+  // Adding one micro-batch costs at most one full traversal.
+  EXPECT_LE(t2 - t1, 20.0 + 2.0 * stages + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineBounds,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8), ::testing::Values(1, 4, 9),
+                       ::testing::Values(sm::ScheduleKind::kGpipe,
+                                         sm::ScheduleKind::k1F1B)));

@@ -1,0 +1,373 @@
+// Simulator tests: collective cost formulas, pipeline-schedule correctness,
+// overhead-model calibration properties, and end-to-end shape checks against
+// the paper's qualitative results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/binder.h"
+#include "core/compression_plan.h"
+#include "parallel/mp_simulator.h"
+#include "sim/collectives.h"
+#include "sim/hardware.h"
+#include "sim/overhead.h"
+#include "sim/pipeline.h"
+
+namespace sm = actcomp::sim;
+namespace pl = actcomp::parallel;
+namespace cp = actcomp::compress;
+namespace core = actcomp::core;
+
+namespace {
+
+pl::ModelParallelSimulator finetune_sim(const sm::ClusterSpec& cluster, int tp,
+                                        int pp, int64_t batch = 32,
+                                        int64_t seq = 512) {
+  return pl::ModelParallelSimulator(cluster, actcomp::nn::BertConfig::bert_large(),
+                                    {tp, pp}, {batch, 1, seq});
+}
+
+}  // namespace
+
+// ---------- links / collectives ----------
+
+TEST(Link, TransferTimeLinearInBytes) {
+  sm::LinkSpec l{.bandwidth_gb_s = 10.0, .latency_us = 5.0};
+  EXPECT_NEAR(l.transfer_ms(0), 0.005, 1e-9);
+  EXPECT_NEAR(l.transfer_ms(10'000'000), 0.005 + 1.0, 1e-6);
+}
+
+TEST(Collectives, AllReduceRingFormula) {
+  sm::LinkSpec l{.bandwidth_gb_s = 40.0, .latency_us = 0.0};
+  // tp=2: 2*(1/2)*S/bw = S/bw.
+  EXPECT_NEAR(sm::allreduce_ms(40'000'000, 2, l), 1.0, 1e-9);
+  // tp=4: 2*(3/4)*S/bw.
+  EXPECT_NEAR(sm::allreduce_ms(40'000'000, 4, l), 1.5, 1e-9);
+  // Single rank is free.
+  EXPECT_EQ(sm::allreduce_ms(40'000'000, 1, l), 0.0);
+}
+
+TEST(Collectives, AllGatherScalesWithRanks) {
+  sm::LinkSpec l{.bandwidth_gb_s = 10.0, .latency_us = 0.0};
+  const double t2 = sm::allgather_ms(10'000'000, 2, l);
+  const double t4 = sm::allgather_ms(10'000'000, 4, l);
+  EXPECT_NEAR(t4 / t2, 3.0, 1e-9);  // (n-1) scaling
+}
+
+TEST(Collectives, LatencyFloorDominatesSmallMessages) {
+  sm::LinkSpec l{.bandwidth_gb_s = 40.0, .latency_us = 10.0};
+  const double tiny = sm::allreduce_ms(64, 4, l);
+  EXPECT_NEAR(tiny, 2 * 3 * 0.01, 1e-4);
+}
+
+// ---------- pipeline schedule ----------
+
+TEST(Pipeline, SingleStageIsSequential) {
+  sm::PipelineCosts c;
+  c.fwd_ms = {10};
+  c.bwd_ms = {20};
+  c.micro_batches = 4;
+  const auto r = sm::simulate_pipeline(c, sm::ScheduleKind::k1F1B);
+  EXPECT_NEAR(r.makespan_ms, 4 * 30.0, 1e-9);
+  EXPECT_NEAR(r.stage_idle_ms[0], 0.0, 1e-9);
+}
+
+TEST(Pipeline, TwoStageOneMicroIsFullySequential) {
+  // m=1: no overlap possible; makespan = f1+f2+b2+b1 + transfers.
+  sm::PipelineCosts c;
+  c.fwd_ms = {10, 12};
+  c.bwd_ms = {20, 22};
+  c.p2p_fwd_ms = {1};
+  c.p2p_bwd_ms = {2};
+  c.micro_batches = 1;
+  for (auto kind : {sm::ScheduleKind::kGpipe, sm::ScheduleKind::k1F1B}) {
+    const auto r = sm::simulate_pipeline(c, kind);
+    EXPECT_NEAR(r.makespan_ms, 10 + 1 + 12 + 22 + 2 + 20, 1e-9);
+  }
+}
+
+TEST(Pipeline, BalancedGpipeMatchesBubbleFormula) {
+  // Balanced stages, zero transfer: makespan = (m + p - 1) * (tf + tb).
+  sm::PipelineCosts c;
+  c.fwd_ms = {10, 10, 10, 10};
+  c.bwd_ms = {20, 20, 20, 20};
+  c.p2p_fwd_ms = {0, 0, 0};
+  c.p2p_bwd_ms = {0, 0, 0};
+  c.micro_batches = 8;
+  const auto r = sm::simulate_pipeline(c, sm::ScheduleKind::kGpipe);
+  EXPECT_NEAR(r.makespan_ms, (8 + 4 - 1) * 30.0, 1e-6);
+}
+
+TEST(Pipeline, OneFOneBNoSlowerThanGpipe) {
+  sm::PipelineCosts c;
+  c.fwd_ms = {10, 11, 9, 10};
+  c.bwd_ms = {19, 20, 21, 20};
+  c.p2p_fwd_ms = {1, 1, 1};
+  c.p2p_bwd_ms = {1, 1, 1};
+  c.micro_batches = 6;
+  const auto g = sm::simulate_pipeline(c, sm::ScheduleKind::kGpipe);
+  const auto o = sm::simulate_pipeline(c, sm::ScheduleKind::k1F1B);
+  EXPECT_LE(o.makespan_ms, g.makespan_ms + 1e-9);
+}
+
+TEST(Pipeline, MoreMicroBatchesAmortizeBubble) {
+  sm::PipelineCosts c;
+  c.fwd_ms = {10, 10};
+  c.bwd_ms = {20, 20};
+  c.p2p_fwd_ms = {0};
+  c.p2p_bwd_ms = {0};
+  auto efficiency = [&](int m) {
+    c.micro_batches = m;
+    const auto r = sm::simulate_pipeline(c, sm::ScheduleKind::k1F1B);
+    return static_cast<double>(m) * 30.0 / r.makespan_ms;  // busy / makespan
+  };
+  EXPECT_LT(efficiency(1), efficiency(4));
+  EXPECT_LT(efficiency(4), efficiency(16));
+}
+
+TEST(Pipeline, BoundaryCommAccounting) {
+  sm::PipelineCosts c;
+  c.fwd_ms = {5, 5, 5};
+  c.bwd_ms = {5, 5, 5};
+  c.p2p_fwd_ms = {2, 3};
+  c.p2p_bwd_ms = {1, 1};
+  c.micro_batches = 4;
+  const auto r = sm::simulate_pipeline(c, sm::ScheduleKind::k1F1B);
+  ASSERT_EQ(r.boundary_comm_ms.size(), 2u);
+  EXPECT_NEAR(r.boundary_comm_ms[0], 4 * 3.0, 1e-9);
+  EXPECT_NEAR(r.boundary_comm_ms[1], 4 * 4.0, 1e-9);
+}
+
+TEST(Pipeline, BadCostArraysThrow) {
+  sm::PipelineCosts c;
+  c.fwd_ms = {5, 5};
+  c.bwd_ms = {5};
+  c.micro_batches = 1;
+  EXPECT_THROW(sm::simulate_pipeline(c, sm::ScheduleKind::k1F1B),
+               std::invalid_argument);
+}
+
+// ---------- overhead model ----------
+
+TEST(Overhead, BaselineIsFree) {
+  sm::OverheadModel m;
+  EXPECT_EQ(m.encode_ms(cp::Setting::kBaseline, 1 << 20, 1024), 0.0);
+  EXPECT_EQ(m.decode_ms(cp::Setting::kBaseline, 1 << 20, 1024), 0.0);
+}
+
+TEST(Overhead, Table4CalibrationAnchors) {
+  // 24 tensors of 16.8M elements (fine-tune TP=2/PP=2, b=32, s=512, h=1024,
+  // 12 compressed layers x 2 points): totals should land near Table 4.
+  sm::OverheadModel m;
+  const int64_t numel = 32LL * 512 * 1024;
+  const int tensors = 24;
+  const double a1_enc = tensors * m.encode_ms(cp::Setting::kA1, numel, 1024);
+  EXPECT_NEAR(a1_enc, 2.16, 0.8);  // paper: 2.16 ms
+  const double t1_enc = tensors * m.encode_ms(cp::Setting::kT1, numel, 1024);
+  EXPECT_NEAR(t1_enc, 70.08, 10.0);  // paper: 70.08 ms
+  const double q1_enc = tensors * m.encode_ms(cp::Setting::kQ1, numel, 1024);
+  EXPECT_NEAR(q1_enc, 20.64, 5.0);  // paper: 20.64 ms
+  const double r1_enc = tensors * m.encode_ms(cp::Setting::kR1, numel, 1024);
+  EXPECT_NEAR(r1_enc, 2040.0, 700.0);  // paper: 2040.24 ms
+}
+
+TEST(Overhead, RandomKIsPathologicallySlow) {
+  sm::OverheadModel m;
+  const int64_t numel = 32LL * 512 * 1024;
+  EXPECT_GT(m.encode_ms(cp::Setting::kR1, numel, 1024),
+            20.0 * m.encode_ms(cp::Setting::kT1, numel, 1024));
+}
+
+TEST(Overhead, DeviceSideRandomKFlipsTheSign) {
+  // The ablation: a device-side sampler makes Random-K cheaper than Top-K.
+  sm::OverheadModel m;
+  m.device_side_randomk = true;
+  const int64_t numel = 32LL * 512 * 1024;
+  EXPECT_LT(m.encode_ms(cp::Setting::kR1, numel, 1024),
+            m.encode_ms(cp::Setting::kT1, numel, 1024));
+}
+
+TEST(Overhead, AeIsCheapestNonTrivialEncoder) {
+  sm::OverheadModel m;
+  const int64_t numel = 32LL * 512 * 1024;
+  const double ae = m.encode_ms(cp::Setting::kA1, numel, 1024);
+  for (cp::Setting s : {cp::Setting::kT1, cp::Setting::kR1, cp::Setting::kQ1}) {
+    EXPECT_LT(ae, m.encode_ms(s, numel, 1024)) << cp::setting_label(s);
+  }
+}
+
+TEST(Overhead, DecodeCopiesScale) {
+  sm::OverheadModel m;
+  const int64_t numel = 1 << 22;
+  const double one = m.decode_ms(cp::Setting::kT1, numel, 1024, 1);
+  const double four = m.decode_ms(cp::Setting::kT1, numel, 1024, 4);
+  EXPECT_GT(four, one * 1.5);
+  // AE decode is invariant to TP degree (all-reduce path).
+  EXPECT_EQ(m.decode_ms(cp::Setting::kA1, numel, 1024, 4),
+            m.decode_ms(cp::Setting::kA1, numel, 1024, 1));
+}
+
+TEST(Overhead, AeBackwardExtraMatchesTable4) {
+  // A1 adds ~8.5 ms to the backward step (Table 4: 362.61 vs 354.16).
+  sm::OverheadModel m;
+  const int64_t numel = 32LL * 512 * 1024;
+  const double extra = 24 * m.backward_extra_ms(cp::Setting::kA1, numel, 1024);
+  EXPECT_NEAR(extra, 8.5, 4.0);
+}
+
+// ---------- ModelParallelSimulator shape checks ----------
+
+TEST(MpSim, BaselineTensorCommMatchesTable4) {
+  // Paper Table 4 (no NVLink, TP=2/PP=2): tensor comm 150.72 ms.
+  auto sim = finetune_sim(sm::ClusterSpec::local_pcie(), 2, 2);
+  const auto r = sim.run_baseline();
+  EXPECT_NEAR(r.tensor_comm_ms, 150.0, 30.0);
+}
+
+TEST(MpSim, AeHalvesTensorCommOnPcie) {
+  // Table 4: w/o 150.72 -> A1 80.88 (backward all-reduces stay uncompressed).
+  auto sim = finetune_sim(sm::ClusterSpec::local_pcie(), 2, 2);
+  const auto base = sim.run_baseline();
+  const auto a1 = sim.run(core::CompressionPlan::paper_default(cp::Setting::kA1, 24));
+  EXPECT_NEAR(a1.tensor_comm_ms / base.tensor_comm_ms, 0.54, 0.08);
+}
+
+TEST(MpSim, AeWinsOnPcieLosesOnNvlink) {
+  // Takeaway 1: AE speeds up fine-tuning without NVLink; with NVLink the
+  // gain evaporates at TP>=2.
+  const auto plan = core::CompressionPlan::paper_default(cp::Setting::kA1, 24);
+  auto pcie = finetune_sim(sm::ClusterSpec::local_pcie(), 4, 1);
+  EXPECT_LT(pcie.run(plan).total_ms(), pcie.run_baseline().total_ms());
+
+  auto nvl = finetune_sim(sm::ClusterSpec::aws_p3(1), 4, 1);
+  const double ratio = nvl.run(plan).total_ms() / nvl.run_baseline().total_ms();
+  EXPECT_GT(ratio, 0.97);  // no meaningful gain with NVLink
+}
+
+TEST(MpSim, NonLearningCompressorsSlowDownFinetuning) {
+  // Takeaway 1's negative result: Top-K / Random-K / quantization overheads
+  // exceed their communication savings on a single NVLink node.
+  auto sim = finetune_sim(sm::ClusterSpec::aws_p3(1), 2, 2);
+  const double base = sim.run_baseline().total_ms();
+  for (cp::Setting s : {cp::Setting::kT3, cp::Setting::kR1, cp::Setting::kQ1}) {
+    const auto plan = core::CompressionPlan::paper_default(s, 24);
+    EXPECT_GT(sim.run(plan).total_ms(), base) << cp::setting_label(s);
+  }
+}
+
+TEST(MpSim, RandomKOrderingMatchesTable2) {
+  // R1 < R2 < R3 < R4 in iteration time, all catastrophically slow.
+  auto sim = finetune_sim(sm::ClusterSpec::aws_p3(1), 2, 2);
+  const double base = sim.run_baseline().total_ms();
+  double prev = base;
+  for (cp::Setting s : {cp::Setting::kR1, cp::Setting::kR2, cp::Setting::kR3,
+                        cp::Setting::kR4}) {
+    const double t = sim.run(core::CompressionPlan::paper_default(s, 24)).total_ms();
+    EXPECT_GT(t, prev) << cp::setting_label(s);
+    prev = t;
+  }
+  EXPECT_GT(prev, 5.0 * base);  // R4 is many times the baseline
+}
+
+TEST(MpSim, TpSpillingAcrossNodesIsCatastrophic) {
+  // Table 6: TP=8/PP=2 on 4-GPU nodes is ~10x slower than TP=4/PP=4.
+  pl::TrainJob job{128, 8, 128};
+  pl::ModelParallelSimulator tp4(sm::ClusterSpec::aws_p3(4),
+                                 actcomp::nn::BertConfig::bert_large(), {4, 4}, job);
+  pl::ModelParallelSimulator tp8(sm::ClusterSpec::aws_p3(4),
+                                 actcomp::nn::BertConfig::bert_large(), {8, 2}, job);
+  EXPECT_GT(tp8.run_baseline().total_ms(), 5.0 * tp4.run_baseline().total_ms());
+}
+
+TEST(MpSim, PretrainAeBeatsBaseline) {
+  // Takeaway 4: AE improves pre-training throughput (multi-node pipeline).
+  pl::TrainJob job{128, 8, 128};
+  pl::ModelParallelSimulator sim(sm::ClusterSpec::aws_p3(4),
+                                 actcomp::nn::BertConfig::bert_large(), {4, 4}, job);
+  const double base = sim.run_baseline().total_ms();
+  const double ae =
+      sim.run(core::CompressionPlan::paper_default(cp::Setting::kA2, 24)).total_ms();
+  EXPECT_LT(ae, base);
+  EXPECT_GT(ae, base * 0.7);  // gain is moderate, not magical
+}
+
+TEST(MpSim, QuantBackwardGradientStaysFullSize) {
+  // §3.3: quantized boundary gradients are full-size; sparse ones shrink.
+  pl::TrainJob job{128, 8, 128};
+  pl::ModelParallelSimulator sim(sm::ClusterSpec::aws_p3(4),
+                                 actcomp::nn::BertConfig::bert_large(), {4, 4}, job);
+  const auto q = sim.run(core::CompressionPlan::paper_default(cp::Setting::kQ2, 24));
+  const auto a = sim.run(core::CompressionPlan::paper_default(cp::Setting::kA2, 24));
+  const auto base = sim.run_baseline();
+  // Last boundary is compressed for all plans.
+  const size_t last = q.boundary_bwd_ms.size() - 1;
+  EXPECT_NEAR(q.boundary_bwd_ms[last], base.boundary_bwd_ms[last], 1e-6);
+  EXPECT_LT(a.boundary_bwd_ms[last], 0.5 * base.boundary_bwd_ms[last]);
+}
+
+TEST(MpSim, Table9StageCommPattern) {
+  // With the last 12 of 24 layers compressed and pp=4, boundary 0 (into
+  // layer 6) is untouched while boundaries 1 and 2 (into layers 12, 18)
+  // shrink by roughly the AE ratio.
+  pl::TrainJob job{128, 8, 128};
+  pl::ModelParallelSimulator sim(sm::ClusterSpec::aws_p3(4),
+                                 actcomp::nn::BertConfig::bert_large(), {4, 4}, job);
+  const auto base = sim.run_baseline();
+  const auto a2 = sim.run(core::CompressionPlan::paper_default(cp::Setting::kA2, 24));
+  ASSERT_EQ(base.boundary_fwd_ms.size(), 3u);
+  EXPECT_NEAR(a2.boundary_fwd_ms[0], base.boundary_fwd_ms[0], 1e-6);
+  EXPECT_LT(a2.boundary_fwd_ms[1], 0.25 * base.boundary_fwd_ms[1]);
+  EXPECT_LT(a2.boundary_fwd_ms[2], 0.25 * base.boundary_fwd_ms[2]);
+}
+
+TEST(MpSim, SmallBatchKillsCompressionBenefit) {
+  // Takeaway 8: at batch 8 / seq 128 even AE cannot win on PCIe.
+  auto small = finetune_sim(sm::ClusterSpec::local_pcie(), 2, 2, 8, 128);
+  const auto plan = core::CompressionPlan::paper_default(cp::Setting::kA1, 24);
+  const double gain_small =
+      small.run_baseline().total_ms() / small.run(plan).total_ms();
+  auto big = finetune_sim(sm::ClusterSpec::local_pcie(), 2, 2, 32, 512);
+  const double gain_big = big.run_baseline().total_ms() / big.run(plan).total_ms();
+  EXPECT_GT(gain_big, gain_small);
+  EXPECT_LT(gain_small, 1.02);
+}
+
+TEST(MpSim, InvalidConfigsThrow) {
+  EXPECT_THROW(pl::ModelParallelSimulator(sm::ClusterSpec::aws_p3(1),
+                                          actcomp::nn::BertConfig::bert_large(),
+                                          {3, 1}, {32, 1, 512}),
+               std::invalid_argument);
+  EXPECT_THROW(pl::ModelParallelSimulator(sm::ClusterSpec::aws_p3(1),
+                                          actcomp::nn::BertConfig::bert_large(),
+                                          {1, 4}, {0, 1, 512}),
+               std::invalid_argument);
+}
+
+TEST(MpSim, BreakdownColumnsAreConsistent) {
+  auto sim = finetune_sim(sm::ClusterSpec::local_pcie(), 2, 2);
+  const auto r = sim.run(core::CompressionPlan::paper_default(cp::Setting::kA1, 24));
+  EXPECT_GT(r.makespan_ms, 0.0);
+  EXPECT_GE(r.waiting_finetune_ms(), 0.0);
+  EXPECT_GT(r.enc_ms, 0.0);
+  EXPECT_GT(r.dec_ms, 0.0);
+  // Critical-path fwd+bwd can never exceed the makespan.
+  EXPECT_LE(r.fwd_critical_ms + r.bwd_critical_ms, r.makespan_ms + 1e-6);
+}
+
+TEST(CompressionPlan, WindowSemantics) {
+  const auto plan = core::CompressionPlan::last_n(cp::Setting::kA1, 24, 12);
+  EXPECT_FALSE(plan.compresses(11));
+  EXPECT_TRUE(plan.compresses(12));
+  EXPECT_TRUE(plan.compresses(23));
+  EXPECT_FALSE(plan.compresses(24));
+  const auto none = core::CompressionPlan::none();
+  EXPECT_FALSE(none.compresses(0));
+  EXPECT_THROW(core::CompressionPlan::last_n(cp::Setting::kA1, 24, 25),
+               std::invalid_argument);
+}
+
+TEST(PipelineBoundaries, BalancedSplit) {
+  EXPECT_EQ(core::pipeline_boundaries(24, 4), (std::vector<int64_t>{5, 11, 17}));
+  EXPECT_EQ(core::pipeline_boundaries(24, 1), (std::vector<int64_t>{}));
+  EXPECT_EQ(core::pipeline_boundaries(7, 2), (std::vector<int64_t>{3}));
+}

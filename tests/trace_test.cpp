@@ -1,0 +1,122 @@
+// Tests for pipeline tracing and the live-activation accounting that
+// distinguishes 1F1B from GPipe.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.h"
+
+namespace sm = actcomp::sim;
+
+namespace {
+sm::PipelineCosts balanced(int stages, int micros) {
+  sm::PipelineCosts c;
+  c.fwd_ms.assign(static_cast<size_t>(stages), 10.0);
+  c.bwd_ms.assign(static_cast<size_t>(stages), 20.0);
+  c.p2p_fwd_ms.assign(static_cast<size_t>(stages - 1), 1.0);
+  c.p2p_bwd_ms.assign(static_cast<size_t>(stages - 1), 1.0);
+  c.micro_batches = micros;
+  return c;
+}
+}  // namespace
+
+TEST(Trace, OpCountAndOrdering) {
+  const auto c = balanced(3, 4);
+  const auto t = sm::simulate_pipeline_traced(c, sm::ScheduleKind::k1F1B);
+  EXPECT_EQ(t.ops.size(), 3u * 4u * 2u);  // F and B per stage per micro
+  for (const auto& op : t.ops) {
+    EXPECT_GE(op.start_ms, 0.0);
+    EXPECT_GT(op.end_ms, op.start_ms);
+    EXPECT_LE(op.end_ms, t.result.makespan_ms + 1e-9);
+  }
+}
+
+TEST(Trace, OpsOnOneStageNeverOverlap) {
+  const auto c = balanced(4, 6);
+  for (auto kind : {sm::ScheduleKind::kGpipe, sm::ScheduleKind::k1F1B}) {
+    const auto t = sm::simulate_pipeline_traced(c, kind);
+    for (int s = 0; s < 4; ++s) {
+      std::vector<std::pair<double, double>> spans;
+      for (const auto& op : t.ops) {
+        if (op.stage == s) spans.emplace_back(op.start_ms, op.end_ms);
+      }
+      std::sort(spans.begin(), spans.end());
+      for (size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Trace, ForwardDependenciesRespectTransferTimes) {
+  const auto c = balanced(3, 2);
+  const auto t = sm::simulate_pipeline_traced(c, sm::ScheduleKind::k1F1B);
+  // F(s, j) cannot start before F(s-1, j) ended + p2p.
+  auto find = [&](int stage, int micro, bool backward) {
+    for (const auto& op : t.ops) {
+      if (op.stage == stage && op.micro == micro && op.backward == backward) {
+        return op;
+      }
+    }
+    ADD_FAILURE() << "op not found";
+    return sm::TraceOp{};
+  };
+  for (int s = 1; s < 3; ++s) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_GE(find(s, j, false).start_ms,
+                find(s - 1, j, false).end_ms + 1.0 - 1e-9);
+      EXPECT_GE(find(s - 1, j, true).start_ms,
+                find(s, j, true).end_ms + 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(Trace, OneFOneBLimitsLiveActivations) {
+  // The memory argument for 1F1B: stage 0 of a deep pipeline stashes at most
+  // `stages` micro-batches under 1F1B but all `m` under GPipe.
+  const int stages = 4;
+  const int micros = 12;
+  const auto c = balanced(stages, micros);
+  const auto one = sm::simulate_pipeline_traced(c, sm::ScheduleKind::k1F1B);
+  const auto gp = sm::simulate_pipeline_traced(c, sm::ScheduleKind::kGpipe);
+  EXPECT_EQ(gp.peak_live_activations(0), micros);
+  EXPECT_LE(one.peak_live_activations(0), stages);
+  // Later stages hold less under 1F1B.
+  EXPECT_LE(one.peak_live_activations(stages - 1), 1 + 1);
+}
+
+TEST(Trace, ChromeTraceJsonWellFormedish) {
+  const auto c = balanced(2, 2);
+  const auto t = sm::simulate_pipeline_traced(c, sm::ScheduleKind::kGpipe);
+  std::ostringstream os;
+  sm::write_chrome_trace(os, t);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // 8 ops -> 8 X events.
+  size_t count = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 8;
+  }
+  EXPECT_EQ(count, 8u);
+  // Balanced braces/brackets.
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, TracedResultMatchesUntraced) {
+  const auto c = balanced(4, 5);
+  for (auto kind : {sm::ScheduleKind::kGpipe, sm::ScheduleKind::k1F1B}) {
+    const auto traced = sm::simulate_pipeline_traced(c, kind);
+    const auto plain = sm::simulate_pipeline(c, kind);
+    EXPECT_DOUBLE_EQ(traced.result.makespan_ms, plain.makespan_ms);
+    EXPECT_EQ(traced.result.stage_busy_ms, plain.stage_busy_ms);
+  }
+}
