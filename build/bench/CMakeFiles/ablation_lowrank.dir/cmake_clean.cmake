@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lowrank.dir/ablation_lowrank.cpp.o"
+  "CMakeFiles/ablation_lowrank.dir/ablation_lowrank.cpp.o.d"
+  "ablation_lowrank"
+  "ablation_lowrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lowrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

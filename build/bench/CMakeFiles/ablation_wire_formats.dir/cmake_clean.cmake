@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wire_formats.dir/ablation_wire_formats.cpp.o"
+  "CMakeFiles/ablation_wire_formats.dir/ablation_wire_formats.cpp.o.d"
+  "ablation_wire_formats"
+  "ablation_wire_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wire_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

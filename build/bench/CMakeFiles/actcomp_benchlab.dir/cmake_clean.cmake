@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_benchlab.dir/lab.cpp.o"
+  "CMakeFiles/actcomp_benchlab.dir/lab.cpp.o.d"
+  "libactcomp_benchlab.a"
+  "libactcomp_benchlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_benchlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

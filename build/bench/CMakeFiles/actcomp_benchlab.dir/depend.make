@@ -1,0 +1,2 @@
+# Empty dependencies file for actcomp_benchlab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_micro.dir/compress_micro.cpp.o"
+  "CMakeFiles/compress_micro.dir/compress_micro.cpp.o.d"
+  "compress_micro"
+  "compress_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lowrank.dir/fig2_lowrank.cpp.o"
+  "CMakeFiles/fig2_lowrank.dir/fig2_lowrank.cpp.o.d"
+  "fig2_lowrank"
+  "fig2_lowrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lowrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_layers_location.dir/fig4_layers_location.cpp.o"
+  "CMakeFiles/fig4_layers_location.dir/fig4_layers_location.cpp.o.d"
+  "fig4_layers_location"
+  "fig4_layers_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_layers_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

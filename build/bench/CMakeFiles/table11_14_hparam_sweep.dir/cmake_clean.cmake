@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_14_hparam_sweep.dir/table11_14_hparam_sweep.cpp.o"
+  "CMakeFiles/table11_14_hparam_sweep.dir/table11_14_hparam_sweep.cpp.o.d"
+  "table11_14_hparam_sweep"
+  "table11_14_hparam_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_14_hparam_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

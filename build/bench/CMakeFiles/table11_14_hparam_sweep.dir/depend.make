@@ -1,0 +1,2 @@
+# Empty dependencies file for table11_14_hparam_sweep.
+# This may be replaced when dependencies are built.

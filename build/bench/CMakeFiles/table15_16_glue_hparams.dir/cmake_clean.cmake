@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table15_16_glue_hparams.dir/table15_16_glue_hparams.cpp.o"
+  "CMakeFiles/table15_16_glue_hparams.dir/table15_16_glue_hparams.cpp.o.d"
+  "table15_16_glue_hparams"
+  "table15_16_glue_hparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table15_16_glue_hparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table15_16_glue_hparams.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_finetune_nvlink.dir/table2_finetune_nvlink.cpp.o"
+  "CMakeFiles/table2_finetune_nvlink.dir/table2_finetune_nvlink.cpp.o.d"
+  "table2_finetune_nvlink"
+  "table2_finetune_nvlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_finetune_nvlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_breakdown_finetune.dir/table4_breakdown_finetune.cpp.o"
+  "CMakeFiles/table4_breakdown_finetune.dir/table4_breakdown_finetune.cpp.o.d"
+  "table4_breakdown_finetune"
+  "table4_breakdown_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_breakdown_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_glue_finetune.cpp" "bench/CMakeFiles/table5_glue_finetune.dir/table5_glue_finetune.cpp.o" "gcc" "bench/CMakeFiles/table5_glue_finetune.dir/table5_glue_finetune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/actcomp_benchlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/actcomp_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/actcomp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/actcomp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/actcomp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/actcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/actcomp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/actcomp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/actcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/actcomp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/actcomp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/actcomp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_glue_finetune.dir/table5_glue_finetune.cpp.o"
+  "CMakeFiles/table5_glue_finetune.dir/table5_glue_finetune.cpp.o.d"
+  "table5_glue_finetune"
+  "table5_glue_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_glue_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

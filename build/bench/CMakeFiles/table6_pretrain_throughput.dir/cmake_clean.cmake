@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_pretrain_throughput.dir/table6_pretrain_throughput.cpp.o"
+  "CMakeFiles/table6_pretrain_throughput.dir/table6_pretrain_throughput.cpp.o.d"
+  "table6_pretrain_throughput"
+  "table6_pretrain_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_pretrain_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_breakdown_pretrain.dir/table7_breakdown_pretrain.cpp.o"
+  "CMakeFiles/table7_breakdown_pretrain.dir/table7_breakdown_pretrain.cpp.o.d"
+  "table7_breakdown_pretrain"
+  "table7_breakdown_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_breakdown_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_pretrain_accuracy.dir/table8_pretrain_accuracy.cpp.o"
+  "CMakeFiles/table8_pretrain_accuracy.dir/table8_pretrain_accuracy.cpp.o.d"
+  "table8_pretrain_accuracy"
+  "table8_pretrain_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_pretrain_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

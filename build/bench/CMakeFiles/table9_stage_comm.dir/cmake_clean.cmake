@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_stage_comm.dir/table9_stage_comm.cpp.o"
+  "CMakeFiles/table9_stage_comm.dir/table9_stage_comm.cpp.o.d"
+  "table9_stage_comm"
+  "table9_stage_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_stage_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

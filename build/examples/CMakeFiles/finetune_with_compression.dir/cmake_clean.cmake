@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_with_compression.dir/finetune_with_compression.cpp.o"
+  "CMakeFiles/finetune_with_compression.dir/finetune_with_compression.cpp.o.d"
+  "finetune_with_compression"
+  "finetune_with_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_with_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

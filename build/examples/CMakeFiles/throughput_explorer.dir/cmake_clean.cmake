@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_explorer.dir/throughput_explorer.cpp.o"
+  "CMakeFiles/throughput_explorer.dir/throughput_explorer.cpp.o.d"
+  "throughput_explorer"
+  "throughput_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

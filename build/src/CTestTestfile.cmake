@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("autograd")
+subdirs("compress")
+subdirs("nn")
+subdirs("metrics")
+subdirs("data")
+subdirs("core")
+subdirs("train")
+subdirs("sim")
+subdirs("parallel")
+subdirs("perf")

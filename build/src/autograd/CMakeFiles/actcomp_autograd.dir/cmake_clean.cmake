@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_autograd.dir/functions.cpp.o"
+  "CMakeFiles/actcomp_autograd.dir/functions.cpp.o.d"
+  "CMakeFiles/actcomp_autograd.dir/variable.cpp.o"
+  "CMakeFiles/actcomp_autograd.dir/variable.cpp.o.d"
+  "libactcomp_autograd.a"
+  "libactcomp_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/autoencoder.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/autoencoder.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/compress/compressor.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/compressor.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/compressor.cpp.o.d"
+  "/root/repo/src/compress/error_feedback.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/error_feedback.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/error_feedback.cpp.o.d"
+  "/root/repo/src/compress/hybrid.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/hybrid.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/hybrid.cpp.o.d"
+  "/root/repo/src/compress/identity.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/identity.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/identity.cpp.o.d"
+  "/root/repo/src/compress/lowrank.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/lowrank.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/lowrank.cpp.o.d"
+  "/root/repo/src/compress/quantize.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/quantize.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/quantize.cpp.o.d"
+  "/root/repo/src/compress/randomk.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/randomk.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/randomk.cpp.o.d"
+  "/root/repo/src/compress/settings.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/settings.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/settings.cpp.o.d"
+  "/root/repo/src/compress/topk.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/topk.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/topk.cpp.o.d"
+  "/root/repo/src/compress/wire.cpp" "src/compress/CMakeFiles/actcomp_compress.dir/wire.cpp.o" "gcc" "src/compress/CMakeFiles/actcomp_compress.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/actcomp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/actcomp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

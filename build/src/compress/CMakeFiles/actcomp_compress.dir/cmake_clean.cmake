@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_compress.dir/autoencoder.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/compressor.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/compressor.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/error_feedback.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/error_feedback.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/hybrid.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/hybrid.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/identity.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/identity.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/lowrank.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/lowrank.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/quantize.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/quantize.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/randomk.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/randomk.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/settings.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/settings.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/topk.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/topk.cpp.o.d"
+  "CMakeFiles/actcomp_compress.dir/wire.cpp.o"
+  "CMakeFiles/actcomp_compress.dir/wire.cpp.o.d"
+  "libactcomp_compress.a"
+  "libactcomp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_core.dir/binder.cpp.o"
+  "CMakeFiles/actcomp_core.dir/binder.cpp.o.d"
+  "CMakeFiles/actcomp_core.dir/compression_plan.cpp.o"
+  "CMakeFiles/actcomp_core.dir/compression_plan.cpp.o.d"
+  "libactcomp_core.a"
+  "libactcomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/actcomp_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/actcomp_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/pretrain.cpp" "src/data/CMakeFiles/actcomp_data.dir/pretrain.cpp.o" "gcc" "src/data/CMakeFiles/actcomp_data.dir/pretrain.cpp.o.d"
+  "/root/repo/src/data/tasks.cpp" "src/data/CMakeFiles/actcomp_data.dir/tasks.cpp.o" "gcc" "src/data/CMakeFiles/actcomp_data.dir/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/actcomp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/actcomp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/actcomp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/actcomp_autograd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_data.dir/dataset.cpp.o"
+  "CMakeFiles/actcomp_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/actcomp_data.dir/pretrain.cpp.o"
+  "CMakeFiles/actcomp_data.dir/pretrain.cpp.o.d"
+  "CMakeFiles/actcomp_data.dir/tasks.cpp.o"
+  "CMakeFiles/actcomp_data.dir/tasks.cpp.o.d"
+  "libactcomp_data.a"
+  "libactcomp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libactcomp_data.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/actcomp_metrics.dir/metrics.cpp.o.d"
+  "libactcomp_metrics.a"
+  "libactcomp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libactcomp_metrics.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/actcomp_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/actcomp_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/bert.cpp" "src/nn/CMakeFiles/actcomp_nn.dir/bert.cpp.o" "gcc" "src/nn/CMakeFiles/actcomp_nn.dir/bert.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/nn/CMakeFiles/actcomp_nn.dir/layernorm.cpp.o" "gcc" "src/nn/CMakeFiles/actcomp_nn.dir/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/actcomp_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/actcomp_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/actcomp_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/actcomp_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/transformer_layer.cpp" "src/nn/CMakeFiles/actcomp_nn.dir/transformer_layer.cpp.o" "gcc" "src/nn/CMakeFiles/actcomp_nn.dir/transformer_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/actcomp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/actcomp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/actcomp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_nn.dir/attention.cpp.o"
+  "CMakeFiles/actcomp_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/actcomp_nn.dir/bert.cpp.o"
+  "CMakeFiles/actcomp_nn.dir/bert.cpp.o.d"
+  "CMakeFiles/actcomp_nn.dir/layernorm.cpp.o"
+  "CMakeFiles/actcomp_nn.dir/layernorm.cpp.o.d"
+  "CMakeFiles/actcomp_nn.dir/linear.cpp.o"
+  "CMakeFiles/actcomp_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/actcomp_nn.dir/module.cpp.o"
+  "CMakeFiles/actcomp_nn.dir/module.cpp.o.d"
+  "CMakeFiles/actcomp_nn.dir/transformer_layer.cpp.o"
+  "CMakeFiles/actcomp_nn.dir/transformer_layer.cpp.o.d"
+  "libactcomp_nn.a"
+  "libactcomp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

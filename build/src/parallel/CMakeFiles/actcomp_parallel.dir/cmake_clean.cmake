@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_parallel.dir/mp_simulator.cpp.o"
+  "CMakeFiles/actcomp_parallel.dir/mp_simulator.cpp.o.d"
+  "libactcomp_parallel.a"
+  "libactcomp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/perf_model.cpp" "src/perf/CMakeFiles/actcomp_perf.dir/perf_model.cpp.o" "gcc" "src/perf/CMakeFiles/actcomp_perf.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/actcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/actcomp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/actcomp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/actcomp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

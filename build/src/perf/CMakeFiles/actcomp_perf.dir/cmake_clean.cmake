@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_perf.dir/perf_model.cpp.o"
+  "CMakeFiles/actcomp_perf.dir/perf_model.cpp.o.d"
+  "libactcomp_perf.a"
+  "libactcomp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

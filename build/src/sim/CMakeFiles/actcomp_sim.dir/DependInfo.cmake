@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collectives.cpp" "src/sim/CMakeFiles/actcomp_sim.dir/collectives.cpp.o" "gcc" "src/sim/CMakeFiles/actcomp_sim.dir/collectives.cpp.o.d"
+  "/root/repo/src/sim/hardware.cpp" "src/sim/CMakeFiles/actcomp_sim.dir/hardware.cpp.o" "gcc" "src/sim/CMakeFiles/actcomp_sim.dir/hardware.cpp.o.d"
+  "/root/repo/src/sim/overhead.cpp" "src/sim/CMakeFiles/actcomp_sim.dir/overhead.cpp.o" "gcc" "src/sim/CMakeFiles/actcomp_sim.dir/overhead.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/actcomp_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/actcomp_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/actcomp_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/actcomp_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/actcomp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/actcomp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/actcomp_autograd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

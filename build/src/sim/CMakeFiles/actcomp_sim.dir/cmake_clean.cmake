@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_sim.dir/collectives.cpp.o"
+  "CMakeFiles/actcomp_sim.dir/collectives.cpp.o.d"
+  "CMakeFiles/actcomp_sim.dir/hardware.cpp.o"
+  "CMakeFiles/actcomp_sim.dir/hardware.cpp.o.d"
+  "CMakeFiles/actcomp_sim.dir/overhead.cpp.o"
+  "CMakeFiles/actcomp_sim.dir/overhead.cpp.o.d"
+  "CMakeFiles/actcomp_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/actcomp_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/actcomp_sim.dir/trace.cpp.o"
+  "CMakeFiles/actcomp_sim.dir/trace.cpp.o.d"
+  "libactcomp_sim.a"
+  "libactcomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_tensor.dir/fp16.cpp.o"
+  "CMakeFiles/actcomp_tensor.dir/fp16.cpp.o.d"
+  "CMakeFiles/actcomp_tensor.dir/io.cpp.o"
+  "CMakeFiles/actcomp_tensor.dir/io.cpp.o.d"
+  "CMakeFiles/actcomp_tensor.dir/ops.cpp.o"
+  "CMakeFiles/actcomp_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/actcomp_tensor.dir/random.cpp.o"
+  "CMakeFiles/actcomp_tensor.dir/random.cpp.o.d"
+  "CMakeFiles/actcomp_tensor.dir/shape.cpp.o"
+  "CMakeFiles/actcomp_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/actcomp_tensor.dir/svd.cpp.o"
+  "CMakeFiles/actcomp_tensor.dir/svd.cpp.o.d"
+  "CMakeFiles/actcomp_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/actcomp_tensor.dir/tensor.cpp.o.d"
+  "libactcomp_tensor.a"
+  "libactcomp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actcomp_train.dir/optimizer.cpp.o"
+  "CMakeFiles/actcomp_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/actcomp_train.dir/trainer.cpp.o"
+  "CMakeFiles/actcomp_train.dir/trainer.cpp.o.d"
+  "libactcomp_train.a"
+  "libactcomp_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actcomp_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
