@@ -1,0 +1,119 @@
+// Ablation: what the discrete-event engine adds over the closed-form
+// pipeline model — comm/compute overlap, explicit link contention, and
+// interleaved (virtual-stage) schedules.
+//
+// Three questions, three tables:
+//   1. How much p2p latency can async overlap hide on the NIC-bound
+//      pre-training grid, with and without compression?
+//   2. Does modelling the Megatron scatter-gather slices as discrete
+//      messages queuing on link lanes (instead of the closed-form
+//      divide-by-parallelism) change the picture?
+//   3. Where does interleaved-1F1B pay off? (Compute-dominated NVLink
+//      pipelines — on the slow NIC the doubled transfer volume wins.)
+#include <cstdio>
+
+#include "bench/simbench.h"
+
+int main() {
+  using namespace actcomp;
+  const parallel::TrainJob job{128, 8, 128};
+  const auto model = nn::BertConfig::bert_large();
+
+  std::printf(
+      "Ablation — discrete-event engine: overlap, contention, interleaving\n");
+
+  // --- 1. comm/compute overlap on the pre-training grid -------------------
+  std::printf("\n[1] Async p2p overlap (4 nodes, 16 GPUs)\n\n");
+  {
+    std::vector<std::string> header{"Config", "setting", "strict ms",
+                                    "overlap ms", "hidden"};
+    std::vector<std::vector<std::string>> body;
+    for (const auto& par : bench::pretrain_parallel_rows()) {
+      for (auto s : {compress::Setting::kBaseline, compress::Setting::kA2}) {
+        const auto plan = core::CompressionPlan::paper_default(s, 24);
+        auto cell = [&](bool overlap) {
+          parallel::ModelParallelSimulator sim(
+              sim::ClusterSpec::aws_p3(4), model, par, job,
+              parallel::SimOptions{sim::ScheduleKind::k1F1B, 1, overlap,
+                                   false});
+          return sim.run(plan).total_ms();
+        };
+        const double strict = cell(false);
+        const double lap = cell(true);
+        body.push_back(
+            {"TP=" + std::to_string(par.tp) + ",PP=" + std::to_string(par.pp),
+             compress::setting_label(s), bench::fmt(strict), bench::fmt(lap),
+             bench::fmt(100.0 * (strict - lap) / strict, 2) + "%"});
+      }
+    }
+    bench::print_table(header, body, 14);
+  }
+
+  // --- 2. link contention vs the closed-form approximation ----------------
+  std::printf(
+      "\n[2] Scatter-gather slices queuing on link lanes (4 nodes)\n\n");
+  {
+    std::vector<std::string> header{"Config", "closed-form ms", "queued ms",
+                                    "delta"};
+    std::vector<std::vector<std::string>> body;
+    for (const auto& par : bench::pretrain_parallel_rows()) {
+      auto cell = [&](bool contention) {
+        parallel::ModelParallelSimulator sim(
+            sim::ClusterSpec::aws_p3(4), model, par, job,
+            parallel::SimOptions{sim::ScheduleKind::k1F1B, 1, false,
+                                 contention});
+        return sim.run_baseline().total_ms();
+      };
+      const double closed = cell(false);
+      const double queued = cell(true);
+      body.push_back(
+          {"TP=" + std::to_string(par.tp) + ",PP=" + std::to_string(par.pp),
+           bench::fmt(closed), bench::fmt(queued),
+           bench::fmt(100.0 * (queued - closed) / closed, 2) + "%"});
+    }
+    bench::print_table(header, body, 14);
+  }
+
+  // --- 3. interleaved schedules across comm regimes -----------------------
+  std::printf(
+      "\n[3] Interleaved-1F1B vs plain 1F1B (baseline, no compression)\n\n");
+  {
+    std::vector<std::string> header{"Cluster", "Config", "1F1B ms", "int-v2 ms",
+                                    "delta"};
+    std::vector<std::vector<std::string>> body;
+    struct Row {
+      sim::ClusterSpec cluster;
+      parallel::ParallelConfig par;
+      const char* label;
+    };
+    const Row rows[] = {
+        {sim::ClusterSpec::aws_p3(1), {1, 4}, "1-node NVLink"},
+        {sim::ClusterSpec::aws_p3(4), {4, 4}, "4-node NIC"},
+    };
+    for (const auto& row : rows) {
+      auto cell = [&](sim::ScheduleKind kind, int v) {
+        parallel::ModelParallelSimulator sim(
+            row.cluster, model, row.par, job,
+            parallel::SimOptions{kind, v, false, false});
+        return sim.run_baseline().total_ms();
+      };
+      const double plain = cell(sim::ScheduleKind::k1F1B, 1);
+      const double inter = cell(sim::ScheduleKind::kInterleaved1F1B, 2);
+      body.push_back({row.label,
+                      "TP=" + std::to_string(row.par.tp) + ",PP=" +
+                          std::to_string(row.par.pp),
+                      bench::fmt(plain), bench::fmt(inter),
+                      bench::fmt(100.0 * (inter - plain) / plain, 2) + "%"});
+    }
+    bench::print_table(header, body, 14);
+  }
+
+  std::printf(
+      "\nTakeaway: overlap hides part of the p2p cost that compression also\n"
+      "targets, but even a perfectly async pipeline leaves the NIC-bound\n"
+      "rows far above the NVLink rows — bandwidth, not ordering, is the\n"
+      "bottleneck, which is the paper's motivation for compressing the\n"
+      "activations themselves. Interleaving only helps once the links are\n"
+      "fast (negative delta on NVLink, positive on the shared NIC).\n");
+  return 0;
+}

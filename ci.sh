@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI entry point. Two jobs:
+#   ./ci.sh verify    — tier-1: configure, build, run the full test suite
+#   ./ci.sh sanitize  — ASan+UBSan build of src/ + tests, warnings-as-errors
+# No arguments runs both in sequence.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="${CI_JOBS:-$(nproc)}"
+
+verify() {
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
+
+sanitize() {
+  cmake -B build-asan -S . \
+    -DACTCOMP_SANITIZE=ON \
+    -DACTCOMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$jobs"
+  # halt_on_error so ctest reports sanitizer hits as failures.
+  ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
+
+case "${1:-all}" in
+  verify) verify ;;
+  sanitize) sanitize ;;
+  all)
+    verify
+    sanitize
+    ;;
+  *)
+    echo "usage: $0 [verify|sanitize|all]" >&2
+    exit 2
+    ;;
+esac

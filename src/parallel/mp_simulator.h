@@ -28,6 +28,23 @@ struct ParallelConfig {
   int pp = 1;  ///< pipeline model-parallel degree
 };
 
+/// Execution-model knobs for the discrete-event pipeline engine.
+struct SimOptions {
+  sim::ScheduleKind schedule = sim::ScheduleKind::k1F1B;
+  /// Model chunks per stage (Megatron virtual pipeline); >= 2 requires
+  /// schedule == kInterleaved1F1B, layers divisible by pp*virtual_stages,
+  /// and num_micro divisible by pp.
+  int virtual_stages = 1;
+  /// Async p2p: a stage computes micro-batch i while micro-batch i-1's
+  /// activations are still in flight, instead of stalling in program order.
+  bool overlap = false;
+  /// Model the Megatron scatter-gather boundary slices as discrete messages
+  /// queuing on the link's lanes (tp parallel NVLink lanes, or ONE lane for
+  /// a shared NIC / PCIe bridge), replacing boundary_parallelism()'s
+  /// closed-form divide-by-parallelism approximation.
+  bool link_contention = false;
+};
+
 struct TrainJob {
   int64_t micro_batch = 32;
   int64_t num_micro = 1;   ///< micro-batches per iteration (global/micro)
@@ -76,6 +93,9 @@ class ModelParallelSimulator {
   ModelParallelSimulator(sim::ClusterSpec cluster, nn::BertConfig model,
                          ParallelConfig parallel, TrainJob job,
                          sim::ScheduleKind schedule = sim::ScheduleKind::k1F1B);
+  ModelParallelSimulator(sim::ClusterSpec cluster, nn::BertConfig model,
+                         ParallelConfig parallel, TrainJob job,
+                         SimOptions options);
 
   IterationBreakdown run(const core::CompressionPlan& plan) const;
 
@@ -95,16 +115,21 @@ class ModelParallelSimulator {
   const sim::LinkSpec& tp_link() const;
   /// Link crossing a given pipeline boundary.
   const sim::LinkSpec& boundary_link(int boundary) const;
+  /// Whether a boundary's p2p traffic leaves the node.
+  bool boundary_cross_node(int boundary) const;
   /// Scatter-gather parallelism factor on a boundary (paper's Megatron
   /// optimization splits the boundary tensor across TP ranks; the slices
   /// move in parallel over NVLink but share a single NIC or PCIe bridge).
+  /// Closed-form approximation, used only when options_.link_contention is
+  /// off; with contention on, the engine queues the slices on explicit lane
+  /// resources instead.
   double boundary_parallelism(int boundary) const;
 
   sim::ClusterSpec cluster_;
   nn::BertConfig model_;
   ParallelConfig parallel_;
   TrainJob job_;
-  sim::ScheduleKind schedule_;
+  SimOptions options_;
   sim::OverheadModel overhead_;
 };
 

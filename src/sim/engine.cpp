@@ -1,0 +1,119 @@
+#include "sim/engine.h"
+
+#include <cmath>
+#include <functional>
+#include <queue>
+
+#include "tensor/check.h"
+
+namespace actcomp::sim {
+
+int Engine::add_resource(int capacity, ExecPolicy policy) {
+  ACTCOMP_CHECK(capacity >= 0, "resource capacity must be >= 0 (0 = unlimited)");
+  resources_.push_back({capacity, policy, {}});
+  return static_cast<int>(resources_.size()) - 1;
+}
+
+int Engine::add_op(int resource, double duration_ms) {
+  ACTCOMP_CHECK(resource >= 0 && resource < num_resources(),
+                "op bound to unknown resource " << resource);
+  ACTCOMP_CHECK(std::isfinite(duration_ms) && duration_ms >= 0.0,
+                "op duration must be finite and non-negative, got "
+                    << duration_ms);
+  const int id = num_ops();
+  ops_.push_back({resource, duration_ms, {}});
+  resources_[static_cast<size_t>(resource)].ops.push_back(id);
+  return id;
+}
+
+void Engine::add_dep(int op, int dep) {
+  ACTCOMP_CHECK(op >= 0 && op < num_ops() && dep >= 0 && dep < num_ops(),
+                "add_dep(" << op << ", " << dep << ") out of range");
+  ACTCOMP_CHECK(op != dep, "op " << op << " cannot depend on itself");
+  ops_[static_cast<size_t>(op)].deps.push_back(dep);
+}
+
+std::vector<OpTiming> Engine::run() const {
+  const size_t n = ops_.size();
+  std::vector<OpTiming> times(n);
+  std::vector<int> deps_left(n, 0);
+  std::vector<std::vector<int>> dependents(n);
+  for (size_t i = 0; i < n; ++i) {
+    deps_left[i] = static_cast<int>(ops_[i].deps.size());
+    for (int d : ops_[i].deps) dependents[static_cast<size_t>(d)].push_back(static_cast<int>(i));
+  }
+
+  struct ResourceState {
+    size_t next = 0;  ///< program-order cursor (kProgramOrder)
+    int busy = 0;     ///< ops in flight
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+  };
+  std::vector<ResourceState> state(resources_.size());
+  std::vector<char> is_ready(n, 0);
+
+  // Completion events, processed in (time, op id) order for determinism.
+  using Event = std::pair<double, int>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  size_t finished = 0;
+
+  auto start_op = [&](int id, double now) {
+    const OpNode& op = ops_[static_cast<size_t>(id)];
+    times[static_cast<size_t>(id)] = {now, now + op.duration_ms};
+    ++state[static_cast<size_t>(op.resource)].busy;
+    events.push({now + op.duration_ms, id});
+  };
+
+  auto dispatch = [&](int res, double now) {
+    const ResourceNode& r = resources_[static_cast<size_t>(res)];
+    ResourceState& s = state[static_cast<size_t>(res)];
+    if (r.policy == ExecPolicy::kProgramOrder) {
+      while (s.next < r.ops.size() &&
+             is_ready[static_cast<size_t>(r.ops[s.next])] &&
+             (r.capacity == 0 || s.busy < r.capacity)) {
+        start_op(r.ops[s.next], now);
+        ++s.next;
+      }
+    } else {
+      while (!s.ready.empty() && (r.capacity == 0 || s.busy < r.capacity)) {
+        const int id = s.ready.top();
+        s.ready.pop();
+        start_op(id, now);
+      }
+    }
+  };
+
+  auto mark_ready = [&](int id) {
+    is_ready[static_cast<size_t>(id)] = 1;
+    const int res = ops_[static_cast<size_t>(id)].resource;
+    if (resources_[static_cast<size_t>(res)].policy == ExecPolicy::kReadyOrder) {
+      state[static_cast<size_t>(res)].ready.push(id);
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    if (deps_left[i] == 0) mark_ready(static_cast<int>(i));
+  }
+  for (int r = 0; r < num_resources(); ++r) dispatch(r, 0.0);
+
+  while (!events.empty()) {
+    const auto [now, id] = events.top();
+    events.pop();
+    ++finished;
+    --state[static_cast<size_t>(ops_[static_cast<size_t>(id)].resource)].busy;
+    for (int d : dependents[static_cast<size_t>(id)]) {
+      if (--deps_left[static_cast<size_t>(d)] == 0) mark_ready(d);
+    }
+    // Re-dispatch the freed resource and every resource that gained a ready
+    // op (dispatch is idempotent, so duplicates are harmless).
+    dispatch(ops_[static_cast<size_t>(id)].resource, now);
+    for (int d : dependents[static_cast<size_t>(id)]) {
+      dispatch(ops_[static_cast<size_t>(d)].resource, now);
+    }
+  }
+
+  ACTCOMP_ASSERT(finished == n, "engine deadlocked with " << n - finished
+                                                          << " ops unreachable");
+  return times;
+}
+
+}  // namespace actcomp::sim

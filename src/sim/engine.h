@@ -1,0 +1,73 @@
+// Discrete-event execution engine for the pipeline simulator.
+//
+// The engine models a set of *resources* (things that serialize work: a
+// stage's compute unit, a link's lane pool) and a static DAG of *ops*
+// (forward/backward compute steps, point-to-point transfers). Schedules —
+// GPipe, 1F1B, interleaved 1F1B — are expressed as op-dependency graphs on
+// top of this core (see sim/pipeline.cpp) instead of bespoke loops, so new
+// schedules only need a graph builder, not a new simulator.
+//
+// Resource semantics:
+//   * capacity N > 0 — at most N ops in flight (N lanes); capacity 0 means
+//     unlimited (a link with no contention is pure dependency delay).
+//   * ExecPolicy::kProgramOrder — ops run strictly in the order they were
+//     added to the resource, each starting at max(previous op's end, its
+//     dependencies' end). This reproduces a synchronous executor exactly.
+//   * ExecPolicy::kReadyOrder — the resource is work-conserving: whenever a
+//     lane is free it starts the ready op with the lowest insertion index.
+//     This models comm/compute overlap (async p2p): a stage stalled on a
+//     late arrival runs the next op whose inputs are already present.
+//
+// run() is deterministic: events are processed in (time, op id) order.
+#pragma once
+
+#include <vector>
+
+namespace actcomp::sim {
+
+enum class ExecPolicy { kProgramOrder, kReadyOrder };
+
+struct OpTiming {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+class Engine {
+ public:
+  /// Adds a resource; `capacity` is the number of concurrent lanes (0 =
+  /// unlimited). Returns its id.
+  int add_resource(int capacity, ExecPolicy policy = ExecPolicy::kProgramOrder);
+
+  /// Adds an op bound to `resource` with the given duration. Insertion order
+  /// per resource defines the program order (kProgramOrder) and the
+  /// tie-break priority (kReadyOrder). Returns the op id.
+  int add_op(int resource, double duration_ms);
+
+  /// Declares that `op` cannot start before `dep` has finished.
+  void add_dep(int op, int dep);
+
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  int num_resources() const { return static_cast<int>(resources_.size()); }
+
+  /// Executes the DAG to completion and returns per-op realized times.
+  /// Throws std::logic_error if the graph cannot make progress (a dependency
+  /// cycle, or a kProgramOrder resource whose next op waits on a later one).
+  std::vector<OpTiming> run() const;
+
+ private:
+  struct OpNode {
+    int resource = 0;
+    double duration_ms = 0.0;
+    std::vector<int> deps;
+  };
+  struct ResourceNode {
+    int capacity = 0;
+    ExecPolicy policy = ExecPolicy::kProgramOrder;
+    std::vector<int> ops;  ///< insertion order = program order
+  };
+
+  std::vector<OpNode> ops_;
+  std::vector<ResourceNode> resources_;
+};
+
+}  // namespace actcomp::sim

@@ -1,8 +1,12 @@
 #include "sim/pipeline.h"
 
 #include <algorithm>
-#include <limits>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
+#include "sim/engine.h"
 #include "sim/trace.h"
 #include "tensor/check.h"
 
@@ -10,127 +14,307 @@ namespace actcomp::sim {
 
 namespace {
 
-struct Op {
-  bool backward;
-  int micro;       // micro-batch index
-  double duration;
-};
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("simulate_pipeline: " + msg);
+}
 
-/// Per-stage op sequence for the requested schedule.
-std::vector<std::vector<Op>> build_sequences(const PipelineCosts& c,
-                                             ScheduleKind kind) {
-  const int p = static_cast<int>(c.fwd_ms.size());
-  const int m = c.micro_batches;
-  std::vector<std::vector<Op>> seq(static_cast<size_t>(p));
-  for (int s = 0; s < p; ++s) {
-    auto& ops = seq[static_cast<size_t>(s)];
-    const double tf = c.fwd_ms[static_cast<size_t>(s)];
-    const double tb = c.bwd_ms[static_cast<size_t>(s)];
-    if (kind == ScheduleKind::kGpipe) {
-      for (int j = 0; j < m; ++j) ops.push_back({false, j, tf});
-      for (int j = 0; j < m; ++j) ops.push_back({true, j, tb});
-    } else {  // 1F1B: warmup forwards, steady 1B1F, drain backwards
-      const int warmup = std::min(m, p - s);
-      int next_f = 0, next_b = 0;
-      for (; next_f < warmup; ++next_f) ops.push_back({false, next_f, tf});
-      while (next_b < m) {
-        ops.push_back({true, next_b++, tb});
-        if (next_f < m) ops.push_back({false, next_f++, tf});
-      }
+void check_durations(const std::vector<double>& v, const char* name) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i]) || v[i] < 0.0) {
+      std::ostringstream os;
+      os << name << "[" << i << "] = " << v[i]
+         << " — durations must be finite and non-negative";
+      fail(os.str());
     }
   }
-  return seq;
+}
+
+/// One schedule step: run `micro`'s forward or backward for model chunk
+/// `chunk` on the stage at hand.
+struct Step {
+  bool backward;
+  int chunk;
+  int micro;
+};
+
+// Megatron's interleaved-1F1B enumeration: virtual step k walks micro-batch
+// groups of size `p` through each of the `v` chunks in turn, so forwards go
+// (chunk 0: micros 0..p-1), (chunk 1: micros 0..p-1), ..., then the next
+// group of p micros. Backwards mirror it with the chunk order reversed.
+int interleave_chunk(int k, int p, int v, bool backward) {
+  const int c = (k % (p * v)) / p;
+  return backward ? v - 1 - c : c;
+}
+int interleave_micro(int k, int p, int v) { return (k / (p * v)) * p + k % p; }
+
+/// Program order of stage `s` for the requested schedule.
+std::vector<Step> stage_program(int s, int p, int v, int m, ScheduleKind kind) {
+  std::vector<Step> prog;
+  if (kind == ScheduleKind::kGpipe) {
+    for (int j = 0; j < m; ++j) prog.push_back({false, 0, j});
+    for (int j = 0; j < m; ++j) prog.push_back({true, 0, j});
+  } else if (kind == ScheduleKind::k1F1B) {
+    // Warmup forwards, steady 1B1F, drain backwards.
+    const int warmup = std::min(m, p - s);
+    int next_f = 0, next_b = 0;
+    for (; next_f < warmup; ++next_f) prog.push_back({false, 0, next_f});
+    while (next_b < m) {
+      prog.push_back({true, 0, next_b++});
+      if (next_f < m) prog.push_back({false, 0, next_f++});
+    }
+  } else {
+    // Interleaved 1F1B (Megatron virtual pipeline): warmup of
+    // (p - s - 1)*2 + (v - 1)*p virtual forwards, then steady
+    // one-forward-one-backward, then drain.
+    const int total = m * v;
+    const int warmup = std::min(total, (p - s - 1) * 2 + (v - 1) * p);
+    auto fstep = [&](int k) {
+      return Step{false, interleave_chunk(k, p, v, false),
+                  interleave_micro(k, p, v)};
+    };
+    auto bstep = [&](int k) {
+      return Step{true, interleave_chunk(k, p, v, true),
+                  interleave_micro(k, p, v)};
+    };
+    for (int k = 0; k < warmup; ++k) prog.push_back(fstep(k));
+    for (int k = warmup; k < total; ++k) {
+      prog.push_back(fstep(k));
+      prog.push_back(bstep(k - warmup));
+    }
+    for (int k = total - warmup; k < total; ++k) prog.push_back(bstep(k));
+  }
+  return prog;
 }
 
 }  // namespace
 
+void validate_pipeline_inputs(const PipelineCosts& c,
+                              const PipelineOptions& o) {
+  const size_t p = c.fwd_ms.size();
+  std::ostringstream os;
+  if (p == 0) fail("fwd_ms is empty — need at least one stage");
+  if (c.bwd_ms.size() != p) {
+    os << "bwd_ms has " << c.bwd_ms.size() << " entries, expected stages = "
+       << p;
+    fail(os.str());
+  }
+  if (c.p2p_fwd_ms.size() != p - 1) {
+    os << "p2p_fwd_ms has " << c.p2p_fwd_ms.size()
+       << " entries, expected stages - 1 = " << p - 1;
+    fail(os.str());
+  }
+  if (c.p2p_bwd_ms.size() != p - 1) {
+    os << "p2p_bwd_ms has " << c.p2p_bwd_ms.size()
+       << " entries, expected stages - 1 = " << p - 1;
+    fail(os.str());
+  }
+  if (c.micro_batches < 1) {
+    os << "micro_batches = " << c.micro_batches << ", must be >= 1";
+    fail(os.str());
+  }
+  check_durations(c.fwd_ms, "fwd_ms");
+  check_durations(c.bwd_ms, "bwd_ms");
+  check_durations(c.p2p_fwd_ms, "p2p_fwd_ms");
+  check_durations(c.p2p_bwd_ms, "p2p_bwd_ms");
+  check_durations({c.p2p_wrap_fwd_ms, c.p2p_wrap_bwd_ms}, "p2p_wrap_ms");
+  if (!c.boundary_shape.empty()) {
+    if (c.boundary_shape.size() != p - 1) {
+      os << "boundary_shape has " << c.boundary_shape.size()
+         << " entries, expected stages - 1 = " << p - 1 << " (or empty)";
+      fail(os.str());
+    }
+    for (size_t b = 0; b < c.boundary_shape.size(); ++b) {
+      if (c.boundary_shape[b].slices < 1 || c.boundary_shape[b].lanes < 1) {
+        os << "boundary_shape[" << b << "] = {slices="
+           << c.boundary_shape[b].slices << ", lanes="
+           << c.boundary_shape[b].lanes << "} — both must be >= 1";
+        fail(os.str());
+      }
+    }
+  }
+  if (o.schedule == ScheduleKind::kInterleaved1F1B) {
+    if (o.virtual_stages < 2) {
+      os << "interleaved 1F1B needs virtual_stages >= 2, got "
+         << o.virtual_stages;
+      fail(os.str());
+    }
+    if (c.micro_batches % static_cast<int>(p) != 0) {
+      os << "interleaved 1F1B needs micro_batches divisible by stages, got "
+         << c.micro_batches << " % " << p << " != 0";
+      fail(os.str());
+    }
+  } else if (o.virtual_stages != 1) {
+    os << "virtual_stages = " << o.virtual_stages
+       << " is only valid with ScheduleKind::kInterleaved1F1B";
+    fail(os.str());
+  }
+}
+
 PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
-                                       ScheduleKind kind) {
+                                       const PipelineOptions& options) {
+  validate_pipeline_inputs(costs, options);
   const int p = static_cast<int>(costs.fwd_ms.size());
   const int m = costs.micro_batches;
-  ACTCOMP_CHECK(p >= 1 && m >= 1, "pipeline needs >= 1 stage and micro-batch");
-  ACTCOMP_CHECK(costs.bwd_ms.size() == static_cast<size_t>(p),
-                "bwd_ms size mismatch");
-  ACTCOMP_CHECK(costs.p2p_fwd_ms.size() == static_cast<size_t>(p - 1) &&
-                    costs.p2p_bwd_ms.size() == static_cast<size_t>(p - 1),
-                "boundary cost arrays must have stages-1 entries");
+  const int v = options.schedule == ScheduleKind::kInterleaved1F1B
+                    ? options.virtual_stages
+                    : 1;
 
-  const auto seq = build_sequences(costs, kind);
+  Engine eng;
+  const ExecPolicy stage_policy =
+      options.overlap ? ExecPolicy::kReadyOrder : ExecPolicy::kProgramOrder;
+  std::vector<int> compute(static_cast<size_t>(p));
+  for (int s = 0; s < p; ++s) compute[static_cast<size_t>(s)] = eng.add_resource(1, stage_policy);
 
-  constexpr double kUnset = -1.0;
-  // end_f[s][j], end_b[s][j]
-  std::vector<std::vector<double>> end_f(
-      static_cast<size_t>(p), std::vector<double>(static_cast<size_t>(m), kUnset));
-  std::vector<std::vector<double>> end_b = end_f;
-  std::vector<size_t> cursor(static_cast<size_t>(p), 0);
-  std::vector<double> stage_clock(static_cast<size_t>(p), 0.0);
-
-  PipelineTrace trace;
-
-  // Dependency-driven execution: repeatedly run any stage whose next op's
-  // inputs have arrived. The op orders within stages are fixed, so this is a
-  // deterministic list scheduling; the loop terminates because every pass
-  // retires at least one op (schedules are deadlock-free by construction —
-  // enforced by the progress check below).
-  int remaining = 0;
-  for (const auto& ops : seq) remaining += static_cast<int>(ops.size());
-  while (remaining > 0) {
-    bool progressed = false;
-    for (int s = 0; s < p; ++s) {
-      auto& cur = cursor[static_cast<size_t>(s)];
-      if (cur >= seq[static_cast<size_t>(s)].size()) continue;
-      const Op& op = seq[static_cast<size_t>(s)][cur];
-      double ready = 0.0;
-      bool deps_ok = true;
-      if (!op.backward) {
-        if (s > 0) {
-          const double dep = end_f[static_cast<size_t>(s - 1)][static_cast<size_t>(op.micro)];
-          if (dep == kUnset) {
-            deps_ok = false;
-          } else {
-            ready = dep + costs.p2p_fwd_ms[static_cast<size_t>(s - 1)];
-          }
-        }
-      } else {
-        if (s < p - 1) {
-          const double dep = end_b[static_cast<size_t>(s + 1)][static_cast<size_t>(op.micro)];
-          if (dep == kUnset) {
-            deps_ok = false;
-          } else {
-            ready = dep + costs.p2p_bwd_ms[static_cast<size_t>(s)];
-          }
-        } else {
-          const double dep = end_f[static_cast<size_t>(s)][static_cast<size_t>(op.micro)];
-          if (dep == kUnset) {
-            deps_ok = false;
-          } else {
-            ready = dep;
-          }
-        }
-      }
-      if (!deps_ok) continue;
-      const double start = std::max(stage_clock[static_cast<size_t>(s)], ready);
-      const double end = start + op.duration;
-      stage_clock[static_cast<size_t>(s)] = end;
-      if (op.backward) {
-        end_b[static_cast<size_t>(s)][static_cast<size_t>(op.micro)] = end;
-      } else {
-        end_f[static_cast<size_t>(s)][static_cast<size_t>(op.micro)] = end;
-      }
-      trace.ops.push_back({s, op.micro, op.backward, start, end});
-      ++cur;
-      --remaining;
-      progressed = true;
-    }
-    ACTCOMP_ASSERT(progressed, "pipeline schedule deadlocked");
+  // One lane-pool resource per boundary and direction; capacity 0 (no
+  // contention) makes a transfer pure dependency delay, matching the
+  // original closed-form simulator.
+  std::vector<int> link_fwd(static_cast<size_t>(std::max(0, p - 1)));
+  std::vector<int> link_bwd = link_fwd;
+  for (int b = 0; b + 1 < p; ++b) {
+    const int lanes = costs.boundary_shape.empty()
+                          ? 0
+                          : costs.boundary_shape[static_cast<size_t>(b)].lanes;
+    link_fwd[static_cast<size_t>(b)] = eng.add_resource(lanes, ExecPolicy::kReadyOrder);
+    link_bwd[static_cast<size_t>(b)] = eng.add_resource(lanes, ExecPolicy::kReadyOrder);
+  }
+  int wrap_fwd = -1, wrap_bwd = -1;
+  if (v > 1) {
+    wrap_fwd = eng.add_resource(0, ExecPolicy::kReadyOrder);
+    wrap_bwd = eng.add_resource(0, ExecPolicy::kReadyOrder);
   }
 
-  PipelineResult& r = trace.result;
-  r.makespan_ms = *std::max_element(stage_clock.begin(), stage_clock.end());
-  r.stage_busy_ms.resize(static_cast<size_t>(p), 0.0);
+  // Compute ops, created in per-stage program order (which is what a
+  // kProgramOrder resource executes and a kReadyOrder one prefers).
+  auto idx = [&](int chunk, int stage, int micro) {
+    return (static_cast<size_t>(chunk) * static_cast<size_t>(p) +
+            static_cast<size_t>(stage)) *
+               static_cast<size_t>(m) +
+           static_cast<size_t>(micro);
+  };
+  std::vector<int> id_f(static_cast<size_t>(v * p) * static_cast<size_t>(m), -1);
+  std::vector<int> id_b = id_f;
   for (int s = 0; s < p; ++s) {
-    for (const Op& op : seq[static_cast<size_t>(s)]) {
-      r.stage_busy_ms[static_cast<size_t>(s)] += op.duration;
+    const auto prog = stage_program(s, p, v, m, options.schedule);
+    ACTCOMP_ASSERT(prog.size() == static_cast<size_t>(2 * m * v),
+                   "stage program must run every op exactly once");
+    for (const Step& st : prog) {
+      const double dur = (st.backward ? costs.bwd_ms[static_cast<size_t>(s)]
+                                      : costs.fwd_ms[static_cast<size_t>(s)]) /
+                         static_cast<double>(v);
+      auto& slot = (st.backward ? id_b : id_f)[idx(st.chunk, s, st.micro)];
+      ACTCOMP_ASSERT(slot == -1, "duplicate op in stage program");
+      slot = eng.add_op(compute[static_cast<size_t>(s)], dur);
+    }
+  }
+
+  // Transfers and dependencies. Comm op ids are collected alongside their
+  // labels so the trace can report them.
+  std::vector<TraceComm> comm_meta;
+  std::vector<int> comm_ids;
+  auto add_transfer = [&](int resource, double dur, int slices, int producer,
+                          int consumer, TraceComm label) {
+    for (int sl = 0; sl < slices; ++sl) {
+      const int cid = eng.add_op(resource, dur);
+      eng.add_dep(cid, producer);
+      eng.add_dep(consumer, cid);
+      label.slice = sl;
+      comm_ids.push_back(cid);
+      comm_meta.push_back(label);
+    }
+  };
+
+  for (int c = 0; c < v; ++c) {
+    for (int s = 0; s < p; ++s) {
+      for (int j = 0; j < m; ++j) {
+        const int f = id_f[idx(c, s, j)];
+        const int b = id_b[idx(c, s, j)];
+        if (s > 0) {
+          const int bd = s - 1;
+          const int slices =
+              costs.boundary_shape.empty()
+                  ? 1
+                  : costs.boundary_shape[static_cast<size_t>(bd)].slices;
+          add_transfer(link_fwd[static_cast<size_t>(bd)],
+                       costs.p2p_fwd_ms[static_cast<size_t>(bd)], slices,
+                       id_f[idx(c, s - 1, j)], f,
+                       {bd, false, 0, c, j, false, 0.0, 0.0});
+        } else if (c > 0) {
+          add_transfer(wrap_fwd, costs.p2p_wrap_fwd_ms, 1,
+                       id_f[idx(c - 1, p - 1, j)], f,
+                       {p - 1, true, 0, c, j, false, 0.0, 0.0});
+        }
+        if (s < p - 1) {
+          const int slices =
+              costs.boundary_shape.empty()
+                  ? 1
+                  : costs.boundary_shape[static_cast<size_t>(s)].slices;
+          add_transfer(link_bwd[static_cast<size_t>(s)],
+                       costs.p2p_bwd_ms[static_cast<size_t>(s)], slices,
+                       id_b[idx(c, s + 1, j)], b,
+                       {s, false, 0, c, j, true, 0.0, 0.0});
+        } else if (c < v - 1) {
+          add_transfer(wrap_bwd, costs.p2p_wrap_bwd_ms, 1,
+                       id_b[idx(c + 1, 0, j)], b,
+                       {p - 1, true, 0, c, j, true, 0.0, 0.0});
+        } else {
+          // Loss turnaround: the last chunk's backward follows its forward.
+          eng.add_dep(b, f);
+        }
+      }
+    }
+  }
+
+  const std::vector<OpTiming> times = eng.run();
+
+  PipelineTrace trace;
+  // Compute ops: iterate in id (creation) order so per-stage busy sums add
+  // in program order, then sort into realized execution order.
+  PipelineResult& r = trace.result;
+  r.stage_busy_ms.assign(static_cast<size_t>(p), 0.0);
+  for (int c = 0; c < v; ++c) {
+    for (int s = 0; s < p; ++s) {
+      for (int j = 0; j < m; ++j) {
+        for (const bool backward : {false, true}) {
+          const int id = (backward ? id_b : id_f)[idx(c, s, j)];
+          const OpTiming& t = times[static_cast<size_t>(id)];
+          trace.ops.push_back({s, j, backward, t.start_ms, t.end_ms, c});
+        }
+      }
+    }
+  }
+  std::sort(trace.ops.begin(), trace.ops.end(),
+            [](const TraceOp& a, const TraceOp& b) {
+              if (a.start_ms != b.start_ms) return a.start_ms < b.start_ms;
+              if (a.stage != b.stage) return a.stage < b.stage;
+              if (a.chunk != b.chunk) return a.chunk < b.chunk;
+              if (a.micro != b.micro) return a.micro < b.micro;
+              return a.backward < b.backward;
+            });
+  for (size_t i = 0; i < comm_ids.size(); ++i) {
+    TraceComm cm = comm_meta[i];
+    cm.start_ms = times[static_cast<size_t>(comm_ids[i])].start_ms;
+    cm.end_ms = times[static_cast<size_t>(comm_ids[i])].end_ms;
+    trace.comms.push_back(cm);
+  }
+  std::sort(trace.comms.begin(), trace.comms.end(),
+            [](const TraceComm& a, const TraceComm& b) {
+              if (a.start_ms != b.start_ms) return a.start_ms < b.start_ms;
+              if (a.boundary != b.boundary) return a.boundary < b.boundary;
+              if (a.micro != b.micro) return a.micro < b.micro;
+              return a.slice < b.slice;
+            });
+
+  // Aggregates: same accounting as the original closed-loop simulator.
+  r.makespan_ms = 0.0;
+  for (int s = 0; s < p; ++s) {
+    const auto prog = stage_program(s, p, v, m, options.schedule);
+    for (const Step& st : prog) {
+      const int id = (st.backward ? id_b : id_f)[idx(st.chunk, s, st.micro)];
+      r.stage_busy_ms[static_cast<size_t>(s)] +=
+          (st.backward ? costs.bwd_ms[static_cast<size_t>(s)]
+                       : costs.fwd_ms[static_cast<size_t>(s)]) /
+          static_cast<double>(v);
+      r.makespan_ms = std::max(r.makespan_ms, times[static_cast<size_t>(id)].end_ms);
     }
   }
   r.stage_idle_ms.resize(static_cast<size_t>(p));
@@ -140,20 +324,36 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
   }
   r.boundary_comm_ms.resize(static_cast<size_t>(std::max(0, p - 1)));
   for (int b = 0; b + 1 < p; ++b) {
+    const int slices = costs.boundary_shape.empty()
+                           ? 1
+                           : costs.boundary_shape[static_cast<size_t>(b)].slices;
     r.boundary_comm_ms[static_cast<size_t>(b)] =
-        static_cast<double>(m) * (costs.p2p_fwd_ms[static_cast<size_t>(b)] +
-                                  costs.p2p_bwd_ms[static_cast<size_t>(b)]);
+        static_cast<double>(m * v * slices) *
+        (costs.p2p_fwd_ms[static_cast<size_t>(b)] +
+         costs.p2p_bwd_ms[static_cast<size_t>(b)]);
   }
+  r.wrap_comm_ms = static_cast<double>(m * (v - 1)) *
+                   (costs.p2p_wrap_fwd_ms + costs.p2p_wrap_bwd_ms);
   // "Waiting & pipeline comm": mean per-stage idle plus the mean boundary
   // transfer burden. For p == 1 both terms are zero.
   double idle_sum = 0.0;
-  for (double v : r.stage_idle_ms) idle_sum += v;
+  for (double x : r.stage_idle_ms) idle_sum += x;
   double comm_sum = 0.0;
-  for (double v : r.boundary_comm_ms) comm_sum += v;
+  for (double x : r.boundary_comm_ms) comm_sum += x;
   r.waiting_and_pipe_ms =
       idle_sum / static_cast<double>(p) +
       (p > 1 ? comm_sum / static_cast<double>(p - 1) : 0.0);
   return trace;
+}
+
+PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
+                                       ScheduleKind kind) {
+  return simulate_pipeline_traced(costs, PipelineOptions{kind, 1, false});
+}
+
+PipelineResult simulate_pipeline(const PipelineCosts& costs,
+                                 const PipelineOptions& options) {
+  return simulate_pipeline_traced(costs, options).result;
 }
 
 PipelineResult simulate_pipeline(const PipelineCosts& costs, ScheduleKind kind) {

@@ -1,9 +1,19 @@
-// Pipeline-schedule simulation (GPipe and 1F1B), dependency-exact.
+// Pipeline-schedule simulation (GPipe, 1F1B, interleaved 1F1B).
 //
 // Given per-stage forward/backward durations and per-boundary transfer times
-// (all per micro-batch), simulates the schedule op by op and returns the
-// makespan plus the per-stage busy/idle decomposition the paper's breakdown
-// tables report ("Waiting & Pipeline Comm.").
+// (all per micro-batch), builds the schedule's op-dependency graph on the
+// discrete-event engine (sim/engine.h), runs it, and returns the makespan
+// plus the per-stage busy/idle decomposition the paper's breakdown tables
+// report ("Waiting & Pipeline Comm.").
+//
+// Three knobs beyond the original two-schedule simulator:
+//   * interleaved 1F1B — each physical stage hosts `virtual_stages` model
+//     chunks (Megatron's virtual pipeline); the bubble shrinks by ~1/v.
+//   * comm/compute overlap — async p2p: a stage stalled on a late arrival
+//     runs the next op whose inputs are present instead of idling.
+//   * link contention — a boundary transfer is split into TP scatter-gather
+//     slices that queue on a finite lane pool (one lane = a shared NIC or
+//     PCIe bridge), instead of the closed-form divide-by-parallelism.
 #pragma once
 
 #include <cstdint>
@@ -11,16 +21,45 @@
 
 namespace actcomp::sim {
 
-enum class ScheduleKind { kGpipe, k1F1B };
+enum class ScheduleKind { kGpipe, k1F1B, kInterleaved1F1B };
 
 struct PipelineCosts {
   /// Per-stage, per-micro-batch compute+TP-comm time.
   std::vector<double> fwd_ms;
   std::vector<double> bwd_ms;
   /// Per-boundary, per-micro-batch p2p transfer time (size = stages - 1).
+  /// When `boundary_shape` is set, this is the duration of ONE slice.
   std::vector<double> p2p_fwd_ms;
   std::vector<double> p2p_bwd_ms;
   int micro_batches = 1;
+
+  /// Wrap-around link (last stage -> stage 0) crossed between consecutive
+  /// model chunks under interleaved schedules. Ignored when virtual_stages
+  /// is 1.
+  double p2p_wrap_fwd_ms = 0.0;
+  double p2p_wrap_bwd_ms = 0.0;
+
+  /// Optional link-contention shape per boundary. A transfer becomes
+  /// `slices` messages (TP scatter-gather slices) of p2p_*_ms[b] each that
+  /// share `lanes` serialized lanes: lanes == slices models parallel NVLink
+  /// lanes; lanes == 1 models slices queuing on one NIC / PCIe bridge.
+  /// Empty means one message per transfer on an uncontended link (pure
+  /// dependency delay — the original model).
+  struct LinkShape {
+    int slices = 1;
+    int lanes = 1;
+  };
+  std::vector<LinkShape> boundary_shape;
+};
+
+struct PipelineOptions {
+  ScheduleKind schedule = ScheduleKind::k1F1B;
+  /// Model chunks per physical stage; must be >= 2 for kInterleaved1F1B and
+  /// 1 otherwise. Interleaving requires micro_batches % stages == 0.
+  int virtual_stages = 1;
+  /// Async p2p (comm/compute overlap): stages execute any ready op,
+  /// lowest-program-order first, instead of stalling in strict order.
+  bool overlap = false;
 };
 
 struct PipelineResult {
@@ -28,11 +67,21 @@ struct PipelineResult {
   std::vector<double> stage_busy_ms;      ///< sum of op durations per stage
   std::vector<double> stage_idle_ms;      ///< makespan - busy
   std::vector<double> boundary_comm_ms;   ///< fwd+bwd transfer total per boundary
+  double wrap_comm_ms = 0.0;              ///< interleaved wrap-link total
   /// Average over stages of (idle + adjacent boundary transfer time): the
   /// quantity the paper's "Waiting & Pipeline Comm." column measures.
   double waiting_and_pipe_ms = 0.0;
 };
 
+/// Throws std::invalid_argument with a precise message if the cost arrays
+/// are inconsistent (sizes, negative/non-finite entries, micro_batches < 1)
+/// or the options are invalid for the schedule.
+void validate_pipeline_inputs(const PipelineCosts& costs,
+                              const PipelineOptions& options);
+
+PipelineResult simulate_pipeline(const PipelineCosts& costs,
+                                 const PipelineOptions& options);
+/// Legacy convenience: strict-order, non-interleaved simulation.
 PipelineResult simulate_pipeline(const PipelineCosts& costs, ScheduleKind kind);
 
 }  // namespace actcomp::sim

@@ -1,8 +1,8 @@
 #include "sim/trace.h"
 
 #include <algorithm>
-#include <map>
 #include <ostream>
+#include <sstream>
 
 #include "tensor/check.h"
 
@@ -34,16 +34,64 @@ int PipelineTrace::peak_live_activations(int stage) const {
 }
 
 void write_chrome_trace(std::ostream& os, const PipelineTrace& trace) {
+  const int stages = static_cast<int>(trace.result.stage_busy_ms.size());
+  bool multi_chunk = false;
+  for (const TraceOp& op : trace.ops) multi_chunk |= op.chunk > 0;
+
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const TraceOp& op : trace.ops) {
+  auto sep = [&] {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << (op.backward ? 'B' : 'F') << op.micro
-       << "\",\"cat\":\"" << (op.backward ? "backward" : "forward")
+  };
+
+  // Thread-name metadata so Perfetto labels every row.
+  for (int s = 0; s < stages; ++s) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+       << ",\"args\":{\"name\":\"stage " << s << "\"}}";
+  }
+  bool has_wrap = false;
+  std::vector<char> used_boundary(static_cast<size_t>(std::max(0, stages - 1)), 0);
+  for (const TraceComm& cm : trace.comms) {
+    if (cm.wrap) {
+      has_wrap = true;
+    } else if (cm.boundary >= 0 &&
+               cm.boundary < static_cast<int>(used_boundary.size())) {
+      used_boundary[static_cast<size_t>(cm.boundary)] = 1;
+    }
+  }
+  for (int b = 0; b + 1 < stages; ++b) {
+    if (!used_boundary[static_cast<size_t>(b)]) continue;
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << stages + b << ",\"args\":{\"name\":\"link " << b << "-" << b + 1
+       << "\"}}";
+  }
+  if (has_wrap) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << stages + stages - 1 << ",\"args\":{\"name\":\"wrap link\"}}";
+  }
+
+  for (const TraceOp& op : trace.ops) {
+    sep();
+    os << "{\"name\":\"" << (op.backward ? 'B' : 'F') << op.micro;
+    if (multi_chunk) os << ".c" << op.chunk;
+    os << "\",\"cat\":\"" << (op.backward ? "backward" : "forward")
        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << op.stage
        << ",\"ts\":" << op.start_ms * 1e3
        << ",\"dur\":" << (op.end_ms - op.start_ms) * 1e3 << '}';
+  }
+  for (const TraceComm& cm : trace.comms) {
+    sep();
+    os << "{\"name\":\"" << (cm.backward ? "grad " : "act ")
+       << (cm.backward ? 'B' : 'F') << cm.micro;
+    if (multi_chunk) os << ".c" << cm.chunk;
+    if (cm.slice > 0) os << " s" << cm.slice;
+    os << "\",\"cat\":\"comm\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << stages + cm.boundary << ",\"ts\":" << cm.start_ms * 1e3
+       << ",\"dur\":" << (cm.end_ms - cm.start_ms) * 1e3 << '}';
   }
   os << "]}";
   ACTCOMP_CHECK(static_cast<bool>(os), "trace stream write failed");

@@ -2,11 +2,13 @@
 //
 // simulate_pipeline_traced() returns, in addition to the timing result, the
 // realized start/end of every forward/backward op — enough to reconstruct
-// the schedule — and write_chrome_trace() serializes it in the Chrome
-// tracing JSON format (load in chrome://tracing or Perfetto), with one
-// timeline row per pipeline stage. Also computes the peak number of
-// in-flight activations per stage, the quantity that makes 1F1B preferable
-// to GPipe in practice (bench/ablation_schedule discusses it).
+// the schedule — plus every point-to-point transfer, and
+// write_chrome_trace() serializes it in the Chrome tracing JSON format
+// (load in chrome://tracing or Perfetto): one timeline row per pipeline
+// stage, one per boundary link, and one for the interleaved wrap link.
+// Also computes the peak number of in-flight activations per stage, the
+// quantity that makes 1F1B preferable to GPipe in practice
+// (bench/ablation_schedule discusses it).
 #pragma once
 
 #include <cstdint>
@@ -24,11 +26,25 @@ struct TraceOp {
   bool backward = false;
   double start_ms = 0.0;
   double end_ms = 0.0;
+  int chunk = 0;  ///< virtual model chunk (0 unless interleaved)
+};
+
+/// One realized p2p transfer (or one slice of it under link contention).
+struct TraceComm {
+  int boundary = 0;     ///< boundary index; for wrap transfers, stages - 1
+  bool wrap = false;    ///< crosses the last-stage -> stage-0 wrap link
+  int slice = 0;        ///< scatter-gather slice index within the transfer
+  int chunk = 0;
+  int micro = 0;
+  bool backward = false;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
 };
 
 struct PipelineTrace {
   PipelineResult result;
-  std::vector<TraceOp> ops;  ///< in realized execution order
+  std::vector<TraceOp> ops;      ///< compute ops, in realized execution order
+  std::vector<TraceComm> comms;  ///< transfers, in realized execution order
 
   /// Peak count of micro-batches whose forward has run on `stage` but whose
   /// backward has not yet completed there — the stage's peak stash of live
@@ -37,10 +53,14 @@ struct PipelineTrace {
 };
 
 PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
+                                       const PipelineOptions& options);
+PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
                                        ScheduleKind kind);
 
-/// Chrome tracing JSON ("traceEvents" array of X events; ts/dur in µs,
-/// pid 0, one tid per stage).
+/// Chrome tracing JSON ("traceEvents" array; ts/dur in µs, pid 0). Compute
+/// ops land on tid = stage, transfers on tid = stages + boundary (the wrap
+/// link on tid = stages + stages - 1), with thread_name metadata records
+/// naming every row so Perfetto labels the tracks.
 void write_chrome_trace(std::ostream& os, const PipelineTrace& trace);
 
 }  // namespace actcomp::sim

@@ -79,11 +79,65 @@ TEST(Trace, OneFOneBLimitsLiveActivations) {
   const auto c = balanced(stages, micros);
   const auto one = sm::simulate_pipeline_traced(c, sm::ScheduleKind::k1F1B);
   const auto gp = sm::simulate_pipeline_traced(c, sm::ScheduleKind::kGpipe);
+  for (int s = 0; s < stages; ++s) {
+    EXPECT_LE(gp.peak_live_activations(s), micros);
+    // 1F1B warmup depth bounds the stash: at most stages - s micro-batches.
+    EXPECT_LE(one.peak_live_activations(s), stages - s) << "stage " << s;
+  }
   EXPECT_EQ(gp.peak_live_activations(0), micros);
-  EXPECT_LE(one.peak_live_activations(0), stages);
-  // Later stages hold less under 1F1B.
-  EXPECT_LE(one.peak_live_activations(stages - 1), 1 + 1);
 }
+
+TEST(Trace, CommEventsCoverEveryTransfer) {
+  const auto c = balanced(3, 4);
+  const auto t = sm::simulate_pipeline_traced(c, sm::ScheduleKind::k1F1B);
+  // 2 boundaries x 2 directions x 4 micro-batches.
+  EXPECT_EQ(t.comms.size(), 2u * 2u * 4u);
+  for (const auto& cm : t.comms) {
+    EXPECT_FALSE(cm.wrap);
+    EXPECT_GE(cm.boundary, 0);
+    EXPECT_LT(cm.boundary, 2);
+    EXPECT_NEAR(cm.end_ms - cm.start_ms, 1.0, 1e-12);  // balanced() p2p = 1
+    EXPECT_LE(cm.end_ms, t.result.makespan_ms + 1e-9);
+  }
+  // Each forward transfer bridges producer end -> consumer start.
+  for (const auto& cm : t.comms) {
+    for (const auto& op : t.ops) {
+      if (op.backward != cm.backward || op.micro != cm.micro) continue;
+      if (!cm.backward && op.stage == cm.boundary) {
+        EXPECT_GE(cm.start_ms, op.end_ms - 1e-9);
+      }
+      if (!cm.backward && op.stage == cm.boundary + 1) {
+        EXPECT_GE(op.start_ms, cm.end_ms - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Trace, InterleavedTraceHasChunksAndWrapTransfers) {
+  const auto c = balanced(2, 4);
+  const auto t = sm::simulate_pipeline_traced(
+      c, sm::PipelineOptions{sm::ScheduleKind::kInterleaved1F1B, 2, false});
+  // v=2 chunks double the per-stage op count.
+  EXPECT_EQ(t.ops.size(), 2u * 4u * 2u * 2u);
+  bool saw_chunk1 = false;
+  for (const auto& op : t.ops) saw_chunk1 |= op.chunk == 1;
+  EXPECT_TRUE(saw_chunk1);
+  // Wrap link crossed once per direction per chunk transition per micro.
+  size_t wraps = 0;
+  for (const auto& cm : t.comms) wraps += cm.wrap ? 1 : 0;
+  EXPECT_EQ(wraps, 2u * 4u);  // (v-1) transitions x 4 micros x 2 directions
+}
+
+namespace {
+size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  size_t count = 0, pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+}  // namespace
 
 TEST(Trace, ChromeTraceJsonWellFormedish) {
   const auto c = balanced(2, 2);
@@ -94,19 +148,51 @@ TEST(Trace, ChromeTraceJsonWellFormedish) {
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
-  // 8 ops -> 8 X events.
-  size_t count = 0, pos = 0;
-  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
-    ++count;
-    pos += 8;
-  }
-  EXPECT_EQ(count, 8u);
+  // 8 compute ops + 4 transfers (1 boundary x 2 dirs x 2 micros) -> X events.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 8u + 4u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"comm\""), 4u);
+  // Thread-name metadata for 2 stage rows + 1 link row.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"M\""), 3u);
+  EXPECT_NE(json.find("\"name\":\"link 0-1\""), std::string::npos);
   // Balanced braces/brackets.
   int depth = 0;
   for (char ch : json) {
     if (ch == '{' || ch == '[') ++depth;
     if (ch == '}' || ch == ']') --depth;
     EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, ChromeTraceCommRowsUseDedicatedTids) {
+  // Comm events must land on their own timeline rows (tid >= stage count) so
+  // Perfetto shows transfers under the stage tracks, not on top of them.
+  const auto c = balanced(3, 2);
+  const auto t = sm::simulate_pipeline_traced(c, sm::ScheduleKind::k1F1B);
+  std::ostringstream os;
+  sm::write_chrome_trace(os, t);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"cat\":\"comm\",\"ph\":\"X\",\"pid\":0,\"tid\":3"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"comm\",\"ph\":\"X\",\"pid\":0,\"tid\":4"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"link 1-2\""), std::string::npos);
+}
+
+TEST(Trace, ChromeTraceInterleavedNamesChunksAndWrap) {
+  const auto c = balanced(2, 4);
+  const auto t = sm::simulate_pipeline_traced(
+      c, sm::PipelineOptions{sm::ScheduleKind::kInterleaved1F1B, 2, false});
+  std::ostringstream os;
+  sm::write_chrome_trace(os, t);
+  const std::string json = os.str();
+  EXPECT_NE(json.find(".c1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wrap link\""), std::string::npos);
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
 }
