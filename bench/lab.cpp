@@ -1,6 +1,7 @@
 #include "lab.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -185,6 +186,32 @@ double posthoc_metric(FrozenProbe& probe, const core::CompressionPlan& plan,
                     : train::evaluate_classification(*probe.model,
                                                      *probe.cls_head, *probe.dev,
                                                      tg);
+}
+
+FaultSweepSummary FaultSweep::run(
+    sim::FaultProfile profile,
+    const std::function<double(const sim::FaultProfile&)>& makespan_ms) const {
+  ACTCOMP_CHECK(trials >= 1, "FaultSweep.trials must be >= 1, got " << trials);
+  FaultSweepSummary s;
+  s.trials = trials;
+  s.clean_ms = makespan_ms(sim::FaultProfile::none());
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    profile.seed = base_seed + static_cast<uint64_t>(t);
+    samples.push_back(makespan_ms(profile));
+  }
+  std::sort(samples.begin(), samples.end());
+  auto pct = [&](double q) {  // nearest-rank percentile
+    const auto n = static_cast<double>(samples.size());
+    auto rank = static_cast<size_t>(std::ceil(q * n));
+    return samples[std::min(samples.size() - 1, rank == 0 ? 0 : rank - 1)];
+  };
+  s.p50_ms = pct(0.50);
+  s.p95_ms = pct(0.95);
+  s.p99_ms = pct(0.99);
+  s.worst_ms = samples.back();
+  return s;
 }
 
 void print_table(const std::vector<std::string>& header,

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,6 +28,7 @@
 #include "core/binder.h"
 #include "data/dataset.h"
 #include "nn/bert.h"
+#include "sim/faults.h"
 #include "train/trainer.h"
 
 namespace actcomp::bench {
@@ -79,6 +81,41 @@ FrozenProbe train_frozen_probe(data::TaskId task, int64_t seq, uint64_t seed);
 /// learning-based, evaluate, detach. Returns the dev metric x100.
 double posthoc_metric(FrozenProbe& probe, const core::CompressionPlan& plan,
                       int64_t pp_degree, uint64_t seed);
+
+// ---- Monte-Carlo fault sweeps ----
+
+/// Distribution of a scenario's makespan under fault injection, plus the
+/// clean (fault-free) reference. Percentiles use the nearest-rank method
+/// over the trial makespans.
+struct FaultSweepSummary {
+  double clean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double worst_ms = 0.0;
+  int trials = 0;
+
+  /// Slowdown vs the clean run (>= 1 by the fault model's construction).
+  double slowdown_p50() const { return p50_ms / clean_ms; }
+  double slowdown_p95() const { return p95_ms / clean_ms; }
+  double slowdown_p99() const { return p99_ms / clean_ms; }
+};
+
+/// Replays one (schedule x compressor x fault profile) scenario `trials`
+/// times, re-seeding the profile with base_seed + t each replay, and
+/// summarizes the makespan distribution. The caller supplies the scenario
+/// as a profile -> makespan function (e.g. a simulate_pipeline or
+/// ModelParallelSimulator wrapper); it is called once with a disabled
+/// profile for the clean reference. Fully deterministic: same base_seed,
+/// same summary.
+struct FaultSweep {
+  int trials = 25;
+  uint64_t base_seed = 1;
+
+  FaultSweepSummary run(
+      sim::FaultProfile profile,
+      const std::function<double(const sim::FaultProfile&)>& makespan_ms) const;
+};
 
 // ---- table formatting ----
 

@@ -24,6 +24,15 @@ sanitize() {
   ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
+  # The simulator-pinning harness (randomized-DAG properties, fault-layer
+  # determinism, byte-for-byte golden tables) gets an explicit pass under the
+  # sanitizers: these suites drive the engine and the fault RNG hardest, and
+  # a silent skip here (e.g. a test-name prefix regression hiding them from
+  # the -R filter) must fail loudly, so require a non-empty selection.
+  ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir build-asan -R 'golden|property|engine' \
+      --no-tests=error --output-on-failure -j "$jobs"
 }
 
 case "${1:-all}" in

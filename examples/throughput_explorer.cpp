@@ -5,25 +5,44 @@
 // per-iteration time of every compression setting plus a breakdown of the
 // winner — the decision the paper's Tables 2-7 answer for BERT-Large.
 //
-//   $ ./throughput_explorer [pcie|nvlink|multinode] [tp] [pp] [micro_batch]
-//                           [num_micro] [seq]
+//   $ ./throughput_explorer [--faults] [pcie|nvlink|multinode] [tp] [pp]
+//                           [micro_batch] [num_micro] [seq]
 //   $ ./throughput_explorer nvlink 4 1 32 1 512
+//   $ ./throughput_explorer --faults pcie 2 2 32 4
+//
+// With --faults, each setting is additionally replayed under seeded fault
+// scenarios (a straggler stage and a flaky link — see sim/faults.h) and the
+// p50/p95/p99 makespan is reported, answering "which compressor is most
+// robust", not just "which is fastest on a clean cluster".
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "bench/lab.h"
 #include "core/compression_plan.h"
 #include "parallel/mp_simulator.h"
+#include "sim/faults.h"
 #include "sim/hardware.h"
 
 int main(int argc, char** argv) {
   using namespace actcomp;
-  const std::string platform = argc > 1 ? argv[1] : "pcie";
-  const int tp = argc > 2 ? std::atoi(argv[2]) : 2;
-  const int pp = argc > 3 ? std::atoi(argv[3]) : 2;
-  const int64_t micro = argc > 4 ? std::atoll(argv[4]) : 32;
-  const int64_t num_micro = argc > 5 ? std::atoll(argv[5]) : 1;
-  const int64_t seq = argc > 6 ? std::atoll(argv[6]) : 512;
+  bool faults_mode = false;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--faults") {
+      faults_mode = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const size_t n = args.size();
+  const std::string platform = n > 0 ? args[0] : "pcie";
+  const int tp = n > 1 ? std::atoi(args[1]) : 2;
+  const int pp = n > 2 ? std::atoi(args[2]) : 2;
+  const int64_t micro = n > 3 ? std::atoll(args[3]) : 32;
+  const int64_t num_micro = n > 4 ? std::atoll(args[4]) : 1;
+  const int64_t seq = n > 5 ? std::atoll(args[5]) : 512;
 
   sim::ClusterSpec cluster;
   if (platform == "nvlink") {
@@ -70,6 +89,48 @@ int main(int argc, char** argv) {
     std::printf(
         "\nOn this configuration compression does not pay — the paper's\n"
         "Takeaway 1/8 regime (fast links or small messages).\n");
+  }
+
+  if (faults_mode) {
+    struct NamedProfile {
+      const char* label;
+      sim::FaultProfile profile;
+    };
+    const NamedProfile scenarios[] = {
+        {"straggler 1.5x on stage 1", sim::FaultProfile::straggler(1, 1.5, 0)},
+        {"flaky link 10% outages",
+         sim::FaultProfile::flaky_link(0.10, /*timeout=*/5.0, /*backoff=*/2.0,
+                                       0)},
+    };
+    bench::FaultSweep sweep;  // 25 trials, base seed 1
+    for (const auto& sc : scenarios) {
+      std::printf("\nFaults: %s (%d seeded trials)\n\n", sc.label,
+                  sweep.trials);
+      std::vector<std::string> header{"setting", "clean ms", "p50 ms",
+                                      "p95 ms",  "p99 ms",   "x clean"};
+      std::vector<std::vector<std::string>> body;
+      for (compress::Setting s : compress::main_settings()) {
+        const auto p = core::CompressionPlan::paper_default(s, model.num_layers);
+        const auto summary =
+            sweep.run(sc.profile, [&](const sim::FaultProfile& fp) {
+              parallel::SimOptions opts(sim::ScheduleKind::k1F1B, 1, false,
+                                        false, fp);
+              parallel::ModelParallelSimulator sim(cluster, model, {tp, pp},
+                                                   {micro, num_micro, seq},
+                                                   opts);
+              return sim.run(p).total_ms();
+            });
+        body.push_back({compress::setting_label(s),
+                        bench::fmt(summary.clean_ms), bench::fmt(summary.p50_ms),
+                        bench::fmt(summary.p95_ms), bench::fmt(summary.p99_ms),
+                        bench::fmt(summary.slowdown_p99(), 3)});
+      }
+      bench::print_table(header, body, 10);
+    }
+    std::printf(
+        "\nReading the tail: a setting whose p99 stays close to its clean\n"
+        "time tolerates the fault; a link fault widens the baseline's tail\n"
+        "most because it ships the largest messages.\n");
   }
   return 0;
 }

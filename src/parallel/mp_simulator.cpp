@@ -326,10 +326,12 @@ IterationBreakdown ModelParallelSimulator::run(
 
   const sm::PipelineResult pres = sm::simulate_pipeline(
       costs, sm::PipelineOptions{options_.schedule, options_.virtual_stages,
-                                 options_.overlap});
+                                 options_.overlap, options_.faults});
 
   IterationBreakdown out;
   out.makespan_ms = pres.makespan_ms;
+  out.fault_retries = pres.fault_retries;
+  out.fault_retry_ms = pres.fault_retry_ms + pres.fault_backoff_ms;
   const int64_t params_per_rank = parameter_count(model_) / (tp * pp);
   // Fused Adam on V100: ~0.04 ns/param plus a fixed launch cost (fitted to
   // the paper's 5-8 ms optimizer rows).

@@ -43,6 +43,19 @@ struct SimOptions {
   /// a shared NIC / PCIe bridge), replacing boundary_parallelism()'s
   /// closed-form divide-by-parallelism approximation.
   bool link_contention = false;
+  /// Seeded fault scenario (stragglers, degraded links, outage/retry chains)
+  /// injected into the pipeline op graph; disabled by default. See
+  /// sim/faults.h and bench/ablation_faults.
+  sim::FaultProfile faults;
+
+  SimOptions() = default;
+  SimOptions(sim::ScheduleKind s, int v, bool ov, bool contention,
+             sim::FaultProfile f = {})
+      : schedule(s),
+        virtual_stages(v),
+        overlap(ov),
+        link_contention(contention),
+        faults(f) {}
 };
 
 struct TrainJob {
@@ -76,6 +89,11 @@ struct IterationBreakdown {
   /// forward direction).
   std::vector<double> boundary_fwd_ms;
   std::vector<double> boundary_bwd_ms;
+
+  /// Fault-injection accounting (zero on clean runs): hung transfer
+  /// attempts and the link/backoff time they burned.
+  int fault_retries = 0;
+  double fault_retry_ms = 0.0;
 
   double total_ms() const { return makespan_ms + optimizer_ms; }
   /// "Waiting & Pipeline Comm." under the fine-tune accounting.

@@ -21,6 +21,7 @@
 // run() is deterministic: events are processed in (time, op id) order.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace actcomp::sim {
@@ -48,6 +49,16 @@ class Engine {
 
   int num_ops() const { return static_cast<int>(ops_.size()); }
   int num_resources() const { return static_cast<int>(resources_.size()); }
+
+  /// Introspection for accounting and property tests (realized times come
+  /// from run()). Throw std::out_of_range on bad ids.
+  int op_resource(int op) const { return ops_.at(static_cast<size_t>(op)).resource; }
+  double op_duration_ms(int op) const {
+    return ops_.at(static_cast<size_t>(op)).duration_ms;
+  }
+  int resource_capacity(int resource) const {
+    return resources_.at(static_cast<size_t>(resource)).capacity;
+  }
 
   /// Executes the DAG to completion and returns per-op realized times.
   /// Throws std::logic_error if the graph cannot make progress (a dependency

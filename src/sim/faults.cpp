@@ -1,0 +1,155 @@
+#include "sim/faults.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace actcomp::sim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("FaultProfile: " + msg);
+}
+
+void check_finite_nonneg(double v, const char* name) {
+  if (!std::isfinite(v) || v < 0.0) {
+    std::ostringstream os;
+    os << name << " = " << v << " — must be finite and non-negative";
+    fail(os.str());
+  }
+}
+
+}  // namespace
+
+bool FaultProfile::enabled() const {
+  return compute_jitter > 0.0 ||
+         (straggler_stage >= 0 && straggler_slowdown > 1.0) || link.faulty();
+}
+
+void FaultProfile::validate() const {
+  std::ostringstream os;
+  check_finite_nonneg(compute_jitter, "compute_jitter");
+  if (!std::isfinite(straggler_slowdown) || straggler_slowdown < 1.0) {
+    os << "straggler_slowdown = " << straggler_slowdown << " — must be >= 1";
+    fail(os.str());
+  }
+  if (straggler_stage < -1) {
+    os << "straggler_stage = " << straggler_stage << " — must be >= -1";
+    fail(os.str());
+  }
+  if (faulty_boundary < -1) {
+    os << "faulty_boundary = " << faulty_boundary << " — must be >= -1";
+    fail(os.str());
+  }
+  if (!std::isfinite(link.degrade_factor) || link.degrade_factor < 1.0) {
+    os << "link.degrade_factor = " << link.degrade_factor
+       << " — must be >= 1 (faults only lengthen transfers)";
+    fail(os.str());
+  }
+  if (!std::isfinite(link.outage_rate) || link.outage_rate < 0.0 ||
+      link.outage_rate >= 1.0) {
+    os << "link.outage_rate = " << link.outage_rate << " — must be in [0, 1)";
+    fail(os.str());
+  }
+  check_finite_nonneg(link.timeout_ms, "link.timeout_ms");
+  check_finite_nonneg(link.backoff_ms, "link.backoff_ms");
+  if (link.outage_rate > 0.0 &&
+      (link.max_retries < 1 || link.max_retries > 16)) {
+    os << "link.max_retries = " << link.max_retries
+       << " — must be in [1, 16] when outage_rate > 0";
+    fail(os.str());
+  }
+}
+
+FaultProfile FaultProfile::none() { return {}; }
+
+FaultProfile FaultProfile::straggler(int stage, double slowdown,
+                                     uint64_t seed) {
+  FaultProfile p;
+  p.straggler_stage = stage;
+  p.straggler_slowdown = slowdown;
+  p.seed = seed;
+  return p;
+}
+
+FaultProfile FaultProfile::degraded_link(double factor, uint64_t seed) {
+  FaultProfile p;
+  p.link.degrade_factor = factor;
+  p.seed = seed;
+  return p;
+}
+
+FaultProfile FaultProfile::flaky_link(double outage_rate, double timeout_ms,
+                                      double backoff_ms, uint64_t seed) {
+  FaultProfile p;
+  p.link.outage_rate = outage_rate;
+  p.link.timeout_ms = timeout_ms;
+  p.link.backoff_ms = backoff_ms;
+  p.seed = seed;
+  return p;
+}
+
+FaultProfile FaultProfile::chaos(uint64_t seed) {
+  FaultProfile p;
+  p.compute_jitter = 0.10;
+  p.straggler_stage = 0;
+  p.straggler_slowdown = 1.5;
+  p.link.degrade_factor = 2.0;
+  p.link.outage_rate = 0.05;
+  p.link.timeout_ms = 1.0;
+  p.link.backoff_ms = 0.5;
+  p.seed = seed;
+  return p;
+}
+
+FaultInjector::FaultInjector(const FaultProfile& profile)
+    : profile_(profile), rng_(profile.seed) {
+  profile_.validate();
+  enabled_ = profile_.enabled();
+}
+
+double FaultInjector::next_uniform() {
+  // 53 mantissa bits of one raw draw: identical realization everywhere,
+  // unlike std::uniform_real_distribution.
+  return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+}
+
+double FaultInjector::compute_multiplier(int stage) {
+  if (!enabled_) return 1.0;
+  double mul = 1.0;
+  if (profile_.compute_jitter > 0.0) {
+    mul += profile_.compute_jitter * next_uniform();
+  }
+  if (stage == profile_.straggler_stage) mul *= profile_.straggler_slowdown;
+  return mul;
+}
+
+bool FaultInjector::link_faulty(int boundary) const {
+  return profile_.faulty_boundary == -1 || profile_.faulty_boundary == boundary;
+}
+
+double FaultInjector::transfer_multiplier(int boundary) const {
+  if (!enabled_ || !link_faulty(boundary)) return 1.0;
+  return profile_.link.degrade_factor;
+}
+
+int FaultInjector::draw_outages(int boundary) {
+  if (!enabled_ || profile_.link.outage_rate <= 0.0 || !link_faulty(boundary)) {
+    return 0;
+  }
+  int fails = 0;
+  while (fails < profile_.link.max_retries &&
+         next_uniform() < profile_.link.outage_rate) {
+    ++fails;
+  }
+  return fails;
+}
+
+double FaultInjector::backoff_ms(int attempt) const {
+  return profile_.link.backoff_ms *
+         static_cast<double>(int64_t{1} << (attempt - 1));
+}
+
+}  // namespace actcomp::sim

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the pipeline simulator.
+//
+// The paper's throughput tables assume a clean cluster; real model-parallel
+// jobs see stragglers and flaky links — exactly the regime (slow/contended
+// networks) where activation compression is supposed to pay. This layer
+// perturbs the op graph that sim/pipeline.cpp builds, while Engine::run()
+// itself stays pure (no RNG anywhere inside the engine):
+//
+//   * compute jitter — every compute op's duration is scaled by an
+//     independent factor 1 + U[0, compute_jitter]; one stage can further be
+//     a persistent straggler (a fixed slowdown on all its ops);
+//   * link degradation — persistent bandwidth loss on one (or every)
+//     boundary: transfer durations scale by LinkFaultSpec::degrade_factor;
+//   * transient outages — each transfer attempt independently hangs with
+//     probability outage_rate. A hung attempt occupies the link resource
+//     until timeout_ms (it is a real op on the link, so other transfers
+//     queue behind it), then the sender backs off exponentially (a pure
+//     delay — the link is free meanwhile) and retries, up to max_retries
+//     failures; the next attempt always succeeds.
+//
+// Every stochastic draw comes from one std::mt19937_64 seeded with
+// FaultProfile::seed and consumed in op-graph construction order, so a given
+// (graph, profile) pair always realizes the same fault pattern. All
+// perturbations are duration-lengthening (multipliers >= 1, extra serial
+// ops), which is what makes "faulted makespan >= clean makespan" a testable
+// invariant (tests/engine_test.cpp sweeps it over seeds).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "sim/hardware.h"
+
+namespace actcomp::sim {
+
+/// A complete fault scenario. Default-constructed = everything disabled; the
+/// simulator's clean path is then bit-for-bit unchanged.
+struct FaultProfile {
+  /// Per-op multiplicative compute jitter: duration *= 1 + U[0, jitter].
+  double compute_jitter = 0.0;
+  /// Persistent straggler stage (-1 = none); all its compute ops are scaled
+  /// by straggler_slowdown (>= 1) on top of the jitter.
+  int straggler_stage = -1;
+  double straggler_slowdown = 1.0;
+  /// Link faults, applied to boundary `faulty_boundary`, or to every
+  /// boundary (and the interleaved wrap link) when faulty_boundary == -1.
+  /// For a p-stage pipeline, boundaries are 0..p-2 and the wrap link is
+  /// addressed as p-1.
+  LinkFaultSpec link;
+  int faulty_boundary = -1;
+  /// Seed for every stochastic draw. Two profiles differing only in seed
+  /// realize different jitter/outage patterns over the same scenario.
+  uint64_t seed = 0;
+
+  /// True if any perturbation is active.
+  bool enabled() const;
+  /// Throws std::invalid_argument with a precise message if any knob is out
+  /// of range (negative jitter, slowdown/degrade < 1, rate outside [0, 1),
+  /// negative timeout/backoff, max_retries outside [1, 16] while outages
+  /// are on).
+  void validate() const;
+
+  // Presets used by the benches, the explorer's --faults mode, and tests.
+  static FaultProfile none();
+  static FaultProfile straggler(int stage, double slowdown, uint64_t seed);
+  static FaultProfile degraded_link(double factor, uint64_t seed);
+  static FaultProfile flaky_link(double outage_rate, double timeout_ms,
+                                 double backoff_ms, uint64_t seed);
+  /// Everything at once: 10% jitter, one 1.5x straggler, 2x degradation and
+  /// 5% outages on every link.
+  static FaultProfile chaos(uint64_t seed);
+};
+
+/// Consumes a FaultProfile while sim/pipeline.cpp builds the op graph. The
+/// draw order is the graph construction order, which is deterministic, so
+/// the injector is too. All multipliers returned are >= 1.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultProfile& profile);
+
+  bool enabled() const { return enabled_; }
+  const FaultProfile& profile() const { return profile_; }
+
+  /// Multiplier for the next compute op on `stage`; consumes one RNG draw
+  /// when jitter is active. Exactly 1.0 when faults are disabled.
+  double compute_multiplier(int stage);
+  /// Persistent degradation multiplier for transfers crossing `boundary`
+  /// (the wrap link is stages - 1). Exactly 1.0 off the faulty boundary.
+  double transfer_multiplier(int boundary) const;
+  /// Number of hung attempts (0 = transfer succeeds immediately) for the
+  /// next transfer on `boundary`; consumes RNG draws.
+  int draw_outages(int boundary);
+  /// Link occupancy of one hung attempt.
+  double attempt_timeout_ms() const { return profile_.link.timeout_ms; }
+  /// Pure-delay backoff before retry `attempt` (1-based): backoff * 2^(a-1).
+  double backoff_ms(int attempt) const;
+
+ private:
+  bool link_faulty(int boundary) const;
+  /// U[0, 1) from the profile's own engine — hand-rolled from raw 64-bit
+  /// draws so the realization is identical across standard libraries.
+  double next_uniform();
+
+  FaultProfile profile_;
+  bool enabled_ = false;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace actcomp::sim

@@ -28,6 +28,29 @@ struct LinkSpec {
   }
 };
 
+/// Degradation and outage model for a link, consumed by the fault-injection
+/// layer (sim/faults.h). The default is a healthy link: no slowdown, no
+/// outages. All perturbations only lengthen transfers, so a faulted run can
+/// never beat the clean one.
+struct LinkFaultSpec {
+  /// Persistent bandwidth loss: every transfer duration is multiplied by
+  /// this factor (>= 1). 4.0 models a link running at a quarter speed.
+  double degrade_factor = 1.0;
+  /// Probability, per transfer attempt, that the attempt hangs and must be
+  /// retried. In [0, 1).
+  double outage_rate = 0.0;
+  /// A hung attempt occupies the link until this detection timeout fires.
+  double timeout_ms = 0.0;
+  /// Backoff before retry k is backoff_ms * 2^(k-1); the link is free to
+  /// serve other transfers while a sender backs off.
+  double backoff_ms = 0.0;
+  /// Cap on failed attempts per transfer; the attempt after the last failure
+  /// always succeeds, so every simulation terminates.
+  int max_retries = 3;
+
+  bool faulty() const { return degrade_factor > 1.0 || outage_rate > 0.0; }
+};
+
 struct GpuSpec {
   double peak_fp16_tflops = 112.0;  ///< V100 tensor-core peak
   /// Achieved fraction of peak for transformer-layer GEMMs. The paper's

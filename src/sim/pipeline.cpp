@@ -132,6 +132,18 @@ void validate_pipeline_inputs(const PipelineCosts& c,
       }
     }
   }
+  o.faults.validate();
+  if (o.faults.straggler_stage >= static_cast<int>(p)) {
+    os << "faults.straggler_stage = " << o.faults.straggler_stage
+       << ", but there are only " << p << " stages";
+    fail(os.str());
+  }
+  if (o.faults.faulty_boundary >= static_cast<int>(p)) {
+    os << "faults.faulty_boundary = " << o.faults.faulty_boundary
+       << " out of range — boundaries are 0.." << p - 2
+       << " and the wrap link is " << p - 1;
+    fail(os.str());
+  }
   if (o.schedule == ScheduleKind::kInterleaved1F1B) {
     if (o.virtual_stages < 2) {
       os << "interleaved 1F1B needs virtual_stages >= 2, got "
@@ -158,6 +170,8 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
   const int v = options.schedule == ScheduleKind::kInterleaved1F1B
                     ? options.virtual_stages
                     : 1;
+
+  FaultInjector inj(options.faults);
 
   Engine eng;
   const ExecPolicy stage_policy =
@@ -193,6 +207,10 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
   };
   std::vector<int> id_f(static_cast<size_t>(v * p) * static_cast<size_t>(m), -1);
   std::vector<int> id_b = id_f;
+  // Realized (fault-adjusted) compute time per stage, accumulated in program
+  // order. With faults disabled the multiplier is exactly 1.0, so these sums
+  // are bit-identical to summing the clean costs.
+  std::vector<double> realized_busy(static_cast<size_t>(p), 0.0);
   for (int s = 0; s < p; ++s) {
     const auto prog = stage_program(s, p, v, m, options.schedule);
     ACTCOMP_ASSERT(prog.size() == static_cast<size_t>(2 * m * v),
@@ -200,26 +218,64 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
     for (const Step& st : prog) {
       const double dur = (st.backward ? costs.bwd_ms[static_cast<size_t>(s)]
                                       : costs.fwd_ms[static_cast<size_t>(s)]) /
-                         static_cast<double>(v);
+                         static_cast<double>(v) * inj.compute_multiplier(s);
       auto& slot = (st.backward ? id_b : id_f)[idx(st.chunk, s, st.micro)];
       ACTCOMP_ASSERT(slot == -1, "duplicate op in stage program");
       slot = eng.add_op(compute[static_cast<size_t>(s)], dur);
+      realized_busy[static_cast<size_t>(s)] += dur;
     }
   }
 
+  // Backoff delays between outage retries are pure waits — the link is free
+  // while a sender backs off — so they live on an unlimited no-op resource.
+  const int backoff_res =
+      inj.enabled() ? eng.add_resource(0, ExecPolicy::kReadyOrder) : -1;
+
   // Transfers and dependencies. Comm op ids are collected alongside their
-  // labels so the trace can report them.
+  // labels so the trace can report them. Under fault injection a transfer
+  // becomes: [hung attempt (link, timeout) -> backoff (delay)]* -> transfer
+  // (link, degraded duration); only link-occupying ops are traced.
   std::vector<TraceComm> comm_meta;
   std::vector<int> comm_ids;
+  int fault_retries = 0;
+  double fault_retry_ms = 0.0, fault_backoff_ms = 0.0, fault_wrap_comm = 0.0;
+  std::vector<double> fault_boundary_comm(static_cast<size_t>(std::max(0, p - 1)),
+                                          0.0);
   auto add_transfer = [&](int resource, double dur, int slices, int producer,
                           int consumer, TraceComm label) {
+    const double fdur = dur * inj.transfer_multiplier(label.boundary);
     for (int sl = 0; sl < slices; ++sl) {
-      const int cid = eng.add_op(resource, dur);
-      eng.add_dep(cid, producer);
-      eng.add_dep(consumer, cid);
       label.slice = sl;
+      int prev = producer;
+      const int fails = inj.draw_outages(label.boundary);
+      for (int a = 1; a <= fails; ++a) {
+        const int hung = eng.add_op(resource, inj.attempt_timeout_ms());
+        eng.add_dep(hung, prev);
+        label.attempt = a - 1;
+        label.failed = true;
+        comm_ids.push_back(hung);
+        comm_meta.push_back(label);
+        const int wait = eng.add_op(backoff_res, inj.backoff_ms(a));
+        eng.add_dep(wait, hung);
+        prev = wait;
+        ++fault_retries;
+        fault_retry_ms += inj.attempt_timeout_ms();
+        fault_backoff_ms += inj.backoff_ms(a);
+      }
+      const int cid = eng.add_op(resource, fdur);
+      eng.add_dep(cid, prev);
+      eng.add_dep(consumer, cid);
+      label.attempt = fails;
+      label.failed = false;
       comm_ids.push_back(cid);
       comm_meta.push_back(label);
+      if (inj.enabled()) {
+        if (label.wrap) {
+          fault_wrap_comm += fdur;
+        } else {
+          fault_boundary_comm[static_cast<size_t>(label.boundary)] += fdur;
+        }
+      }
     }
   };
 
@@ -270,7 +326,10 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
   // Compute ops: iterate in id (creation) order so per-stage busy sums add
   // in program order, then sort into realized execution order.
   PipelineResult& r = trace.result;
-  r.stage_busy_ms.assign(static_cast<size_t>(p), 0.0);
+  r.stage_busy_ms = realized_busy;
+  r.fault_retries = fault_retries;
+  r.fault_retry_ms = fault_retry_ms;
+  r.fault_backoff_ms = fault_backoff_ms;
   for (int c = 0; c < v; ++c) {
     for (int s = 0; s < p; ++s) {
       for (int j = 0; j < m; ++j) {
@@ -304,16 +363,13 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
               return a.slice < b.slice;
             });
 
-  // Aggregates: same accounting as the original closed-loop simulator.
+  // Aggregates: same accounting as the original closed-loop simulator (busy
+  // time was accumulated at op creation, in the same program order).
   r.makespan_ms = 0.0;
   for (int s = 0; s < p; ++s) {
     const auto prog = stage_program(s, p, v, m, options.schedule);
     for (const Step& st : prog) {
       const int id = (st.backward ? id_b : id_f)[idx(st.chunk, s, st.micro)];
-      r.stage_busy_ms[static_cast<size_t>(s)] +=
-          (st.backward ? costs.bwd_ms[static_cast<size_t>(s)]
-                       : costs.fwd_ms[static_cast<size_t>(s)]) /
-          static_cast<double>(v);
       r.makespan_ms = std::max(r.makespan_ms, times[static_cast<size_t>(id)].end_ms);
     }
   }
@@ -323,17 +379,24 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
         r.makespan_ms - r.stage_busy_ms[static_cast<size_t>(s)];
   }
   r.boundary_comm_ms.resize(static_cast<size_t>(std::max(0, p - 1)));
-  for (int b = 0; b + 1 < p; ++b) {
-    const int slices = costs.boundary_shape.empty()
-                           ? 1
-                           : costs.boundary_shape[static_cast<size_t>(b)].slices;
-    r.boundary_comm_ms[static_cast<size_t>(b)] =
-        static_cast<double>(m * v * slices) *
-        (costs.p2p_fwd_ms[static_cast<size_t>(b)] +
-         costs.p2p_bwd_ms[static_cast<size_t>(b)]);
+  if (inj.enabled()) {
+    // Realized (degraded) durations of the successful transfers; hung
+    // attempts are reported separately via fault_retry_ms.
+    r.boundary_comm_ms = fault_boundary_comm;
+    r.wrap_comm_ms = fault_wrap_comm;
+  } else {
+    for (int b = 0; b + 1 < p; ++b) {
+      const int slices = costs.boundary_shape.empty()
+                             ? 1
+                             : costs.boundary_shape[static_cast<size_t>(b)].slices;
+      r.boundary_comm_ms[static_cast<size_t>(b)] =
+          static_cast<double>(m * v * slices) *
+          (costs.p2p_fwd_ms[static_cast<size_t>(b)] +
+           costs.p2p_bwd_ms[static_cast<size_t>(b)]);
+    }
+    r.wrap_comm_ms = static_cast<double>(m * (v - 1)) *
+                     (costs.p2p_wrap_fwd_ms + costs.p2p_wrap_bwd_ms);
   }
-  r.wrap_comm_ms = static_cast<double>(m * (v - 1)) *
-                   (costs.p2p_wrap_fwd_ms + costs.p2p_wrap_bwd_ms);
   // "Waiting & pipeline comm": mean per-stage idle plus the mean boundary
   // transfer burden. For p == 1 both terms are zero.
   double idle_sum = 0.0;

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/faults.h"
+
 namespace actcomp::sim {
 
 enum class ScheduleKind { kGpipe, k1F1B, kInterleaved1F1B };
@@ -60,6 +62,15 @@ struct PipelineOptions {
   /// Async p2p (comm/compute overlap): stages execute any ready op,
   /// lowest-program-order first, instead of stalling in strict order.
   bool overlap = false;
+  /// Seeded fault scenario applied while building the op graph (stragglers,
+  /// link degradation, outage/retry chains — see sim/faults.h). The default
+  /// is disabled, and the clean simulation is then bit-for-bit identical to
+  /// a build without this field.
+  FaultProfile faults;
+
+  PipelineOptions() = default;
+  PipelineOptions(ScheduleKind s, int v, bool ov, FaultProfile f = {})
+      : schedule(s), virtual_stages(v), overlap(ov), faults(f) {}
 };
 
 struct PipelineResult {
@@ -71,6 +82,13 @@ struct PipelineResult {
   /// Average over stages of (idle + adjacent boundary transfer time): the
   /// quantity the paper's "Waiting & Pipeline Comm." column measures.
   double waiting_and_pipe_ms = 0.0;
+
+  // Fault-injection accounting (zero on clean runs). With faults enabled,
+  // stage_busy_ms and boundary_comm_ms above already reflect the realized
+  // (jittered / degraded) durations, not the clean inputs.
+  int fault_retries = 0;        ///< hung transfer attempts injected
+  double fault_retry_ms = 0.0;  ///< link time burned by hung attempts
+  double fault_backoff_ms = 0.0;  ///< pure-delay backoff time injected
 };
 
 /// Throws std::invalid_argument with a precise message if the cost arrays

@@ -85,12 +85,21 @@ void write_chrome_trace(std::ostream& os, const PipelineTrace& trace) {
   }
   for (const TraceComm& cm : trace.comms) {
     sep();
-    os << "{\"name\":\"" << (cm.backward ? "grad " : "act ")
-       << (cm.backward ? 'B' : 'F') << cm.micro;
+    // Fault-injected rows: a hung attempt renders as "outage …" (category
+    // "outage"), a transfer that needed retries carries a " try<N>" suffix.
+    os << "{\"name\":\"" << (cm.failed ? "outage " : "")
+       << (cm.backward ? "grad " : "act ") << (cm.backward ? 'B' : 'F')
+       << cm.micro;
     if (multi_chunk) os << ".c" << cm.chunk;
     if (cm.slice > 0) os << " s" << cm.slice;
-    os << "\",\"cat\":\"comm\",\"ph\":\"X\",\"pid\":0,\"tid\":"
-       << stages + cm.boundary << ",\"ts\":" << cm.start_ms * 1e3
+    if (cm.failed) {
+      os << " #" << cm.attempt;
+    } else if (cm.attempt > 0) {
+      os << " try" << cm.attempt;
+    }
+    os << "\",\"cat\":\"" << (cm.failed ? "outage" : "comm")
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << stages + cm.boundary
+       << ",\"ts\":" << cm.start_ms * 1e3
        << ",\"dur\":" << (cm.end_ms - cm.start_ms) * 1e3 << '}';
   }
   os << "]}";

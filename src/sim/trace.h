@@ -39,6 +39,11 @@ struct TraceComm {
   bool backward = false;
   double start_ms = 0.0;
   double end_ms = 0.0;
+  /// Fault-injection annotations: `attempt` counts the retries that preceded
+  /// this transfer (0 = first try), `failed` marks a hung attempt that
+  /// occupied the link until its timeout (its matching retry follows).
+  int attempt = 0;
+  bool failed = false;
 };
 
 struct PipelineTrace {

@@ -1,0 +1,183 @@
+// Tests for the fault-injection layer (sim/faults.h): determinism in the
+// seed, exact equivalence of the disabled profile with the clean simulation,
+// the outage/retry chain's structure in the trace, Monte-Carlo sweep
+// reproducibility, and input validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench/lab.h"
+#include "sim/faults.h"
+#include "sim/pipeline.h"
+#include "sim/trace.h"
+
+namespace sm = actcomp::sim;
+namespace bench = actcomp::bench;
+
+namespace {
+
+sm::PipelineCosts demo_costs() {
+  sm::PipelineCosts c;
+  c.fwd_ms = {4.0, 5.0, 4.5};
+  c.bwd_ms = {8.0, 9.5, 9.0};
+  c.p2p_fwd_ms = {2.0, 2.5};
+  c.p2p_bwd_ms = {2.0, 2.5};
+  c.micro_batches = 6;
+  c.boundary_shape = {{2, 1}, {2, 2}};
+  return c;
+}
+
+}  // namespace
+
+TEST(Faults, SameSeedIsBitwiseReproducible) {
+  const auto costs = demo_costs();
+  const sm::PipelineOptions opts{sm::ScheduleKind::k1F1B, 1, false,
+                                 sm::FaultProfile::chaos(7)};
+  const auto a = sm::simulate_pipeline_traced(costs, opts);
+  const auto b = sm::simulate_pipeline_traced(costs, opts);
+  EXPECT_EQ(a.result.makespan_ms, b.result.makespan_ms);  // exact, not near
+  EXPECT_EQ(a.result.fault_retries, b.result.fault_retries);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].start_ms, b.ops[i].start_ms);
+    EXPECT_EQ(a.ops[i].end_ms, b.ops[i].end_ms);
+  }
+  ASSERT_EQ(a.comms.size(), b.comms.size());
+  for (size_t i = 0; i < a.comms.size(); ++i) {
+    EXPECT_EQ(a.comms[i].start_ms, b.comms[i].start_ms);
+    EXPECT_EQ(a.comms[i].end_ms, b.comms[i].end_ms);
+    EXPECT_EQ(a.comms[i].attempt, b.comms[i].attempt);
+    EXPECT_EQ(a.comms[i].failed, b.comms[i].failed);
+  }
+}
+
+TEST(Faults, DifferentSeedsRealizeDifferentPatterns) {
+  const auto costs = demo_costs();
+  const auto a = sm::simulate_pipeline(
+      costs, {sm::ScheduleKind::k1F1B, 1, false, sm::FaultProfile::chaos(1)});
+  const auto b = sm::simulate_pipeline(
+      costs, {sm::ScheduleKind::k1F1B, 1, false, sm::FaultProfile::chaos(2)});
+  EXPECT_NE(a.makespan_ms, b.makespan_ms);
+}
+
+TEST(Faults, DisabledProfileMatchesCleanRunExactly) {
+  const auto costs = demo_costs();
+  for (const auto kind : {sm::ScheduleKind::kGpipe, sm::ScheduleKind::k1F1B}) {
+    const auto clean = sm::simulate_pipeline(costs, {kind, 1, false});
+    const auto off = sm::simulate_pipeline(
+        costs, {kind, 1, false, sm::FaultProfile::none()});
+    EXPECT_EQ(clean.makespan_ms, off.makespan_ms);
+    ASSERT_EQ(clean.stage_busy_ms.size(), off.stage_busy_ms.size());
+    for (size_t s = 0; s < clean.stage_busy_ms.size(); ++s) {
+      EXPECT_EQ(clean.stage_busy_ms[s], off.stage_busy_ms[s]);
+    }
+    for (size_t b = 0; b < clean.boundary_comm_ms.size(); ++b) {
+      EXPECT_EQ(clean.boundary_comm_ms[b], off.boundary_comm_ms[b]);
+    }
+    EXPECT_EQ(off.fault_retries, 0);
+    EXPECT_EQ(off.fault_retry_ms, 0.0);
+    EXPECT_EQ(off.fault_backoff_ms, 0.0);
+  }
+}
+
+TEST(Faults, OutageChainsAppearInTraceAndAccounting) {
+  // With a 60% outage rate some transfers must hang and retry; each hung
+  // attempt shows up as a failed comm slice, every successful slice records
+  // how many failures preceded it, and the result's retry accounting
+  // matches the trace's failure count.
+  const auto costs = demo_costs();
+  const sm::PipelineOptions opts{
+      sm::ScheduleKind::k1F1B, 1, false,
+      sm::FaultProfile::flaky_link(0.6, /*timeout=*/3.0, /*backoff=*/1.0, 11)};
+  const auto t = sm::simulate_pipeline_traced(costs, opts);
+  int failed = 0;
+  for (const auto& c : t.comms) {
+    if (c.failed) {
+      ++failed;
+      EXPECT_DOUBLE_EQ(c.end_ms - c.start_ms, 3.0);  // hangs until timeout
+    }
+  }
+  EXPECT_GT(failed, 0);
+  EXPECT_EQ(failed, t.result.fault_retries);
+  EXPECT_DOUBLE_EQ(t.result.fault_retry_ms, 3.0 * failed);
+  EXPECT_GT(t.result.fault_backoff_ms, 0.0);
+  // Retries only lengthen the schedule.
+  const auto clean = sm::simulate_pipeline(costs, sm::ScheduleKind::k1F1B);
+  EXPECT_GE(t.result.makespan_ms, clean.makespan_ms);
+}
+
+TEST(Faults, StragglerOnlySlowsItsOwnStage) {
+  const auto costs = demo_costs();
+  const auto clean = sm::simulate_pipeline(costs, sm::ScheduleKind::k1F1B);
+  const auto faulted = sm::simulate_pipeline(
+      costs, {sm::ScheduleKind::k1F1B, 1, false,
+              sm::FaultProfile::straggler(1, 2.0, 0)});
+  EXPECT_EQ(faulted.stage_busy_ms[0], clean.stage_busy_ms[0]);
+  EXPECT_DOUBLE_EQ(faulted.stage_busy_ms[1], 2.0 * clean.stage_busy_ms[1]);
+  EXPECT_EQ(faulted.stage_busy_ms[2], clean.stage_busy_ms[2]);
+}
+
+TEST(Faults, SweepSummaryIsReproducibleAndOrdered) {
+  const auto costs = demo_costs();
+  bench::FaultSweep sweep;
+  sweep.trials = 8;
+  sweep.base_seed = 3;
+  auto makespan = [&](const sm::FaultProfile& fp) {
+    return sm::simulate_pipeline(costs,
+                                 {sm::ScheduleKind::k1F1B, 1, false, fp})
+        .makespan_ms;
+  };
+  const auto a = sweep.run(sm::FaultProfile::chaos(0), makespan);
+  const auto b = sweep.run(sm::FaultProfile::chaos(0), makespan);
+  EXPECT_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_EQ(a.p95_ms, b.p95_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  // Percentiles are ordered and the whole distribution sits above clean.
+  EXPECT_GE(a.p50_ms, a.clean_ms);
+  EXPECT_LE(a.p50_ms, a.p95_ms);
+  EXPECT_LE(a.p95_ms, a.p99_ms);
+  EXPECT_LE(a.p99_ms, a.worst_ms);
+  EXPECT_GE(a.slowdown_p50(), 1.0);
+
+  // A disjoint seed window realizes a different distribution (individual
+  // percentiles may still collide, so compare the whole summary).
+  sweep.base_seed = 1000;
+  const auto c = sweep.run(sm::FaultProfile::chaos(0), makespan);
+  EXPECT_FALSE(a.p50_ms == c.p50_ms && a.p95_ms == c.p95_ms &&
+               a.p99_ms == c.p99_ms && a.worst_ms == c.worst_ms);
+}
+
+TEST(Faults, ValidationRejectsBadProfiles) {
+  auto check_throws = [](sm::FaultProfile p) {
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  };
+  sm::FaultProfile p;
+  p.compute_jitter = -0.1;
+  check_throws(p);
+  p = {};
+  p.straggler_slowdown = 0.5;
+  check_throws(p);
+  p = {};
+  p.link.degrade_factor = 0.9;
+  check_throws(p);
+  p = {};
+  p.link.outage_rate = 1.0;  // rate must stay < 1 (retries must terminate)
+  check_throws(p);
+  p = {};
+  p.link.outage_rate = 0.1;
+  p.link.max_retries = 0;
+  check_throws(p);
+  p = {};
+  p.link.timeout_ms = -1.0;
+  check_throws(p);
+  p = {};
+  p.straggler_stage = -2;
+  check_throws(p);
+  // A straggler stage beyond the pipeline is caught at simulation time.
+  const auto costs = demo_costs();
+  EXPECT_THROW(
+      sm::simulate_pipeline(costs, {sm::ScheduleKind::k1F1B, 1, false,
+                                    sm::FaultProfile::straggler(3, 2.0, 0)}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(sm::FaultProfile::chaos(0).validate());
+}

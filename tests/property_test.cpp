@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <tuple>
 
+#include "compress/error_feedback.h"
 #include "compress/quantize.h"
+#include "compress/randomk.h"
 #include "compress/settings.h"
 #include "compress/topk.h"
 #include "sim/pipeline.h"
@@ -191,6 +194,93 @@ TEST(CompressorMonotonicity, WireBytesGrowWithFidelityKnob) {
     EXPECT_GT(b, prev);
     prev = b;
   }
+}
+
+// ---------- round-trip properties across the compressor family ----------
+
+class RoundTripShape : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripShape, DecodeOfEncodePreservesShape) {
+  // decode(encode(x)) must return a dense tensor of x's shape for every
+  // compressor, whatever the wire format does in between.
+  const uint64_t seed = GetParam();
+  ts::Generator gen(seed);
+  const ts::Shape shapes[] = {ts::Shape{64}, ts::Shape{8, 33},
+                              ts::Shape{3, 5, 16}};
+  std::vector<cp::CompressorPtr> cs;
+  cs.push_back(std::make_unique<cp::TopKCompressor>(0.1));
+  cs.push_back(std::make_unique<cp::RandomKCompressor>(0.1, seed));
+  cs.push_back(std::make_unique<cp::QuantizeCompressor>(4));
+  cs.push_back(std::make_unique<cp::ErrorFeedbackCompressor>(
+      std::make_unique<cp::TopKCompressor>(0.1)));
+  for (auto& c : cs) {
+    for (const auto& shape : shapes) {
+      const ts::Tensor x = gen.normal(shape, 0.0f, 2.0f);
+      const ts::Tensor y = c->decode(c->encode(x));
+      EXPECT_EQ(y.shape(), x.shape()) << c->name();
+    }
+  }
+}
+
+TEST_P(RoundTripShape, TopKNeverLosesToRandomKAtEqualBudget) {
+  // At the same kept fraction, choosing the largest-magnitude entries can
+  // only beat a uniformly random choice (top-k keeps maximal energy).
+  const uint64_t seed = GetParam();
+  ts::Generator gen(seed + 1000);
+  const ts::Tensor x = gen.normal(ts::Shape{16, 48}, 0.0f, 2.0f);
+  for (double fraction : {0.05, 0.2, 0.5}) {
+    cp::TopKCompressor topk(fraction);
+    cp::RandomKCompressor randk(fraction, seed);
+    const float topk_err = ts::rel_error(topk.round_trip(x), x);
+    const float randk_err = ts::rel_error(randk.round_trip(x), x);
+    EXPECT_LE(topk_err, randk_err + 1e-5f) << "fraction " << fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripShape,
+                         ::testing::Values(21u, 42u, 63u, 84u));
+
+TEST(ErrorFeedbackProperty, ResidualStaysBoundedAndStreamErrorDecays) {
+  // EF transmits C(x + e) and keeps e' = (x + e) - C(x + e). For a constant
+  // input stream the residual must stay bounded (not accumulate), which
+  // makes the error of the *accumulated* stream decay like O(1/T): the
+  // receiver's running average converges to the true activation even though
+  // each message is aggressively sparsified.
+  ts::Generator gen(7);
+  const ts::Tensor x = gen.normal(ts::Shape{8, 32}, 0.0f, 1.5f);
+  const float xnorm = ts::frobenius_norm(x);
+  cp::ErrorFeedbackCompressor ef(std::make_unique<cp::TopKCompressor>(0.1));
+
+  ts::Tensor sum;  // accumulated reconstructed stream
+  float err_at_1 = 0.0f;
+  float err_at_16 = 0.0f;
+  float err_at_64 = 0.0f;
+  for (int t = 1; t <= 64; ++t) {
+    const ts::Tensor got = ef.round_trip(x);
+    sum = (t == 1) ? got : ts::add(sum, got);
+    // Residual bounded: for a delta-contraction C (top-k keeps at least
+    // delta = k/n of the energy), EF-SGD theory bounds the equilibrium
+    // residual by (1 - delta)/delta * ||x|| = 9 ||x|| at 10% density. It
+    // must never exceed that — unbounded growth would mean the feedback
+    // loop is broken.
+    EXPECT_LE(ts::frobenius_norm(ef.residual()), 9.0f * xnorm) << "step " << t;
+    const ts::Tensor avg = ts::mul_scalar(sum, 1.0f / static_cast<float>(t));
+    const float err = ts::rel_error(avg, x);
+    if (t == 1) err_at_1 = err;
+    if (t == 16) err_at_16 = err;
+    if (t == 64) err_at_64 = err;
+  }
+  // The stream error is ||e_T|| / (T ||x||): once the residual equilibrates
+  // the decay is O(1/T). Early on the residual is still ramping, so test the
+  // asymptote with slack: strictly decreasing checkpoints and a >= 4x drop
+  // over 64 steps.
+  EXPECT_LT(err_at_16, err_at_1);
+  EXPECT_LT(err_at_64, err_at_16);
+  EXPECT_LT(err_at_64, err_at_1 / 4.0f);
+  // And the plain compressor does NOT converge: its stream error is flat.
+  cp::TopKCompressor plain(0.1);
+  const float plain_err = ts::rel_error(plain.round_trip(x), x);
+  EXPECT_GT(plain_err, err_at_64);
 }
 
 // ---------- pipeline schedule bounds ----------
