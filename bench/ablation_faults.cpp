@@ -11,10 +11,12 @@
 // deterministic in the base seed (re-run the binary, get the same table).
 //
 //   $ ./ablation_faults [trials] [base_seed]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "bench/simbench.h"
+#include "core/threadpool.h"
 #include "sim/faults.h"
 
 int main(int argc, char** argv) {
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
   sweep.trials = trials;
   sweep.base_seed = base_seed;
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  int64_t total_trials = 0;
+
   for (const auto& sched : schedules) {
     for (const auto& np : profiles) {
       std::printf("\n[%s | %s]\n\n", sched.label, np.label);
@@ -83,11 +88,21 @@ int main(int argc, char** argv) {
           best_p99 = summary.p99_ms;
           best_label = compress::setting_label(s);
         }
+        total_trials += summary.trials;
       }
       bench::print_table(header, body, 12);
       std::printf("\nlowest p99: %s (%.2f ms)\n", best_label.c_str(), best_p99);
     }
   }
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::printf("\ntotal wall clock: %.2f s  (%lld trials, %.1f trials/sec, %d threads)\n",
+              wall_s, static_cast<long long>(total_trials),
+              wall_s > 0 ? static_cast<double>(total_trials) / wall_s : 0.0,
+              core::num_threads());
 
   std::printf(
       "\nTakeaway: compression buys robustness headroom, not just mean\n"

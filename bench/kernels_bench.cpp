@@ -1,0 +1,238 @@
+// Machine-readable kernel benchmark: times the parallel compute core
+// (blocked GEMM, compressor encode/decode, one end-to-end fine-tune step)
+// across thread counts and writes BENCH_kernels.json next to the binary's
+// working directory. Each record carries {op, shape, threads, ns_op, gb_s}
+// plus op-specific extras (gflops, speedup_vs_seed).
+//
+// The GEMM baseline is a verbatim copy of the seed repo's matmul2d loop
+// (including its zero-skip branch), compiled at this file's default
+// optimization level — "speedup_vs_seed" is measured against it.
+//
+//   $ ./kernels_bench [out.json]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "autograd/functions.h"
+#include "compress/quantize.h"
+#include "compress/topk.h"
+#include "core/threadpool.h"
+#include "nn/bert.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "train/optimizer.h"
+
+namespace ts = actcomp::tensor;
+namespace ag = actcomp::autograd;
+namespace nn = actcomp::nn;
+namespace cp = actcomp::compress;
+namespace core = actcomp::core;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The seed repo's GEMM, kept as the reference point for speedup numbers.
+void seed_matmul(const float* a, const float* b, float* c, int64_t m,
+                 int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// Best-of-`reps` wall time of fn(), in seconds.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+struct Record {
+  std::string op;
+  std::string shape;
+  int threads = 1;
+  double ns_op = 0.0;
+  double gb_s = 0.0;
+  double gflops = -1.0;          // < 0: omit from JSON
+  double speedup_vs_seed = -1.0; // < 0: omit from JSON
+};
+
+std::vector<Record> g_records;
+
+void emit(Record r) { g_records.push_back(std::move(r)); }
+
+void write_json(const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < g_records.size(); ++i) {
+    const Record& r = g_records[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
+                 "\"ns_op\": %.1f, \"gb_s\": %.3f",
+                 r.op.c_str(), r.shape.c_str(), r.threads, r.ns_op, r.gb_s);
+    if (r.gflops >= 0.0) std::fprintf(f, ", \"gflops\": %.2f", r.gflops);
+    if (r.speedup_vs_seed >= 0.0) {
+      std::fprintf(f, ", \"speedup_vs_seed\": %.2f", r.speedup_vs_seed);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < g_records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu records to %s\n", g_records.size(), path);
+}
+
+void bench_matmul(int64_t m, int64_t k, int64_t n, bool run_seed) {
+  ts::Generator gen(99);
+  const ts::Tensor a = gen.normal(ts::Shape{m, k});
+  const ts::Tensor b = gen.normal(ts::Shape{k, n});
+  const double flops = 2.0 * static_cast<double>(m) * k * n;
+  const double bytes = 4.0 * (static_cast<double>(m) * k +
+                              static_cast<double>(k) * n +
+                              static_cast<double>(m) * n);
+  const int reps = flops > 1e10 ? 1 : 3;
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld",
+                static_cast<long long>(m), static_cast<long long>(k),
+                static_cast<long long>(n));
+
+  double seed_t = -1.0;
+  if (run_seed) {
+    ts::Tensor c{ts::Shape{m, n}};
+    seed_t = best_of(reps, [&] {
+      seed_matmul(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+    });
+    emit({"matmul2d_seed", shape, 1, seed_t * 1e9, bytes / seed_t / 1e9,
+          flops / seed_t / 1e9, -1.0});
+    std::printf("matmul2d_seed %-18s t=1  %8.1f ms  %6.1f GFLOP/s\n", shape,
+                seed_t * 1e3, flops / seed_t / 1e9);
+  }
+  for (int threads : {1, 2, 4}) {
+    core::set_num_threads(threads);
+    const double t = best_of(reps, [&] { ts::matmul2d(a, b); });
+    emit({"matmul2d", shape, threads, t * 1e9, bytes / t / 1e9,
+          flops / t / 1e9, seed_t > 0 ? seed_t / t : -1.0});
+    std::printf("matmul2d      %-18s t=%d  %8.1f ms  %6.1f GFLOP/s%s\n", shape,
+                threads, t * 1e3, flops / t / 1e9,
+                seed_t > 0
+                    ? (" (" + std::to_string(seed_t / t).substr(0, 5) + "x seed)")
+                          .c_str()
+                    : "");
+  }
+  core::set_num_threads(1);
+}
+
+template <typename C>
+void bench_compressor(const char* label, C& c, const ts::Tensor& x) {
+  const double in_bytes = static_cast<double>(x.numel()) * 4.0;
+  char shape[32];
+  std::snprintf(shape, sizeof(shape), "%lld", static_cast<long long>(x.numel()));
+  for (int threads : {1, 4}) {
+    core::set_num_threads(threads);
+    const auto msg = c.encode(x);
+    const double te = best_of(3, [&] { c.encode(x); });
+    const double td = best_of(3, [&] { c.decode(msg); });
+    emit({std::string(label) + "_encode", shape, threads, te * 1e9,
+          in_bytes / te / 1e9, -1.0, -1.0});
+    emit({std::string(label) + "_decode", shape, threads, td * 1e9,
+          in_bytes / td / 1e9, -1.0, -1.0});
+    std::printf("%-13s %-18s t=%d  enc %6.2f GB/s  dec %6.2f GB/s\n", label,
+                shape, threads, in_bytes / te / 1e9, in_bytes / td / 1e9);
+  }
+  core::set_num_threads(1);
+}
+
+void bench_finetune_step() {
+  nn::BertConfig cfg;
+  cfg.vocab_size = 1024;
+  cfg.hidden = 128;
+  cfg.num_layers = 4;
+  cfg.num_heads = 4;
+  cfg.intermediate = 512;
+  cfg.max_seq = 64;
+  cfg.dropout = 0.0f;
+  const int64_t batch = 8, seq = 64;
+  nn::EncoderInput in;
+  in.batch = batch;
+  in.seq = seq;
+  for (int64_t i = 0; i < batch * seq; ++i) in.token_ids.push_back(i % 1000);
+  in.segment_ids.assign(static_cast<size_t>(batch * seq), 0);
+  in.lengths.assign(static_cast<size_t>(batch), seq);
+  const ts::Tensor target{ts::Shape{batch, seq, cfg.hidden}};
+
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "b%lld_s%lld_h%lld_l%d",
+                static_cast<long long>(batch), static_cast<long long>(seq),
+                static_cast<long long>(cfg.hidden), static_cast<int>(cfg.num_layers));
+  for (int threads : {1, 4}) {
+    core::set_num_threads(threads);
+    ts::Generator gen(5);
+    nn::BertModel model(cfg, gen);
+    std::vector<ag::Variable> params = model.parameters();
+    actcomp::train::Adam opt(params, 1e-4f);
+    auto step = [&] {
+      ts::Generator fgen(7);
+      ag::Variable y = model.forward(in, fgen, true);
+      ag::Variable loss = ag::mse_loss(y, target);
+      for (auto& p : params) p.zero_grad();
+      loss.backward();
+      opt.step();
+    };
+    step();  // warm-up (allocations, first-touch)
+    const double t = best_of(3, step);
+    emit({"finetune_step", shape, threads, t * 1e9, 0.0, -1.0, -1.0});
+    std::printf("finetune_step %-18s t=%d  %8.1f ms/step\n", shape, threads,
+                t * 1e3);
+  }
+  core::set_num_threads(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  std::printf("kernel benchmarks (pool default: %d threads)\n\n",
+              core::num_threads());
+
+  // The acceptance shape first, then the paper's hidden sizes as
+  // (tokens x hidden x hidden) projections with tokens = 512.
+  bench_matmul(512, 512, 512, /*run_seed=*/true);
+  bench_matmul(768, 768, 768, /*run_seed=*/true);
+  for (int64_t hidden : {768, 1024, 2048, 4096, 8192}) {
+    bench_matmul(512, hidden, hidden, /*run_seed=*/hidden <= 4096);
+  }
+
+  std::printf("\n");
+  {
+    ts::Generator gen(11);
+    const ts::Tensor x = gen.normal(ts::Shape{256, 16384});  // 16 MiB
+    cp::TopKCompressor topk(0.1);
+    bench_compressor("topk(0.1)", topk, x);
+    cp::QuantizeCompressor quant(4);
+    bench_compressor("quant(4b)", quant, x);
+  }
+
+  std::printf("\n");
+  bench_finetune_step();
+
+  write_json(out);
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "autograd/functions.h"
+#include "core/threadpool.h"
 #include "data/vocab.h"
 #include "tensor/check.h"
 #include "train/optimizer.h"
@@ -195,12 +196,19 @@ FaultSweepSummary FaultSweep::run(
   FaultSweepSummary s;
   s.trials = trials;
   s.clean_ms = makespan_ms(sim::FaultProfile::none());
-  std::vector<double> samples;
-  samples.reserve(static_cast<size_t>(trials));
-  for (int t = 0; t < trials; ++t) {
-    profile.seed = base_seed + static_cast<uint64_t>(t);
-    samples.push_back(makespan_ms(profile));
-  }
+  // Monte-Carlo trials are embarrassingly parallel: each gets its own
+  // FaultProfile copy with seed = base_seed + t, so the sample set — and
+  // every percentile below — is independent of the thread count.
+  // `makespan_ms` must be safe to call concurrently (the simulator builds
+  // all of its state per call).
+  std::vector<double> samples(static_cast<size_t>(trials));
+  core::parallel_for(0, trials, 1, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      sim::FaultProfile p = profile;
+      p.seed = base_seed + static_cast<uint64_t>(t);
+      samples[static_cast<size_t>(t)] = makespan_ms(p);
+    }
+  });
   std::sort(samples.begin(), samples.end());
   auto pct = [&](double q) {  // nearest-rank percentile
     const auto n = static_cast<double>(samples.size());

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point. Two jobs:
+# CI entry point. Three jobs:
 #   ./ci.sh verify    — tier-1: configure, build, run the full test suite
 #   ./ci.sh sanitize  — ASan+UBSan build of src/ + tests, warnings-as-errors
-# No arguments runs both in sequence.
+#   ./ci.sh tsan      — TSan build; runs the parallel-runtime test slice
+# No arguments runs all in sequence.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,15 +36,33 @@ sanitize() {
       --no-tests=error --output-on-failure -j "$jobs"
 }
 
+tsan() {
+  cmake -B build-tsan -S . \
+    -DACTCOMP_SANITIZE=thread \
+    -DACTCOMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$jobs" \
+    --target core_test tensor_test compress_test
+  # Everything that calls parallel_for runs under TSan: the runtime itself
+  # (core/), the tensor kernels (tensor/), and the compressor kernels
+  # (compress/). --no-tests=error guards against a prefix regression
+  # silently deselecting the slice.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan -R 'core/|tensor/|compress/' \
+      --no-tests=error --output-on-failure -j "$jobs"
+}
+
 case "${1:-all}" in
   verify) verify ;;
   sanitize) sanitize ;;
+  tsan) tsan ;;
   all)
     verify
     sanitize
+    tsan
     ;;
   *)
-    echo "usage: $0 [verify|sanitize|all]" >&2
+    echo "usage: $0 [verify|sanitize|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -1,8 +1,10 @@
 #include "autograd/functions.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "core/threadpool.h"
 #include "tensor/check.h"
 #include "tensor/ops.h"
 
@@ -12,6 +14,13 @@ namespace ts = actcomp::tensor;
 using detail::Node;
 
 namespace {
+
+// Chunking for parallel backward kernels; mirrors the grains in tensor/ops.
+constexpr int64_t kEwGrain = 1 << 13;
+
+int64_t row_grain(int64_t cols) {
+  return std::max<int64_t>(1, kEwGrain / std::max<int64_t>(1, cols));
+}
 
 // Sum `g` (shaped like the broadcast output) down to `target` (the smaller,
 // right-aligned operand shape).
@@ -209,9 +218,14 @@ Variable relu(const Variable& a) {
         ts::Tensor g = n.grad.clone();
         auto dg = g.data();
         const auto dx = an->value.data();
-        for (size_t i = 0; i < dg.size(); ++i) {
-          if (dx[i] <= 0.0f) dg[i] = 0.0f;
-        }
+        core::parallel_for(0, static_cast<int64_t>(dg.size()), kEwGrain,
+                           [&](int64_t b, int64_t e) {
+                             for (int64_t i = b; i < e; ++i) {
+                               if (dx[static_cast<size_t>(i)] <= 0.0f) {
+                                 dg[static_cast<size_t>(i)] = 0.0f;
+                               }
+                             }
+                           });
         an->accumulate(g);
       },
       "relu");
@@ -226,7 +240,13 @@ Variable tanh(const Variable& a) {
         auto dg = g.data();
         const auto dt = out.data();
         const auto dn = n.grad.data();
-        for (size_t i = 0; i < dg.size(); ++i) dg[i] = dn[i] * (1.0f - dt[i] * dt[i]);
+        core::parallel_for(0, static_cast<int64_t>(dg.size()), kEwGrain,
+                           [&](int64_t b, int64_t e) {
+                             for (int64_t idx = b; idx < e; ++idx) {
+                               const size_t i = static_cast<size_t>(idx);
+                               dg[i] = dn[i] * (1.0f - dt[i] * dt[i]);
+                             }
+                           });
         an->accumulate(g);
       },
       "tanh");
@@ -241,7 +261,13 @@ Variable sigmoid(const Variable& a) {
         auto dg = g.data();
         const auto ds = out.data();
         const auto dn = n.grad.data();
-        for (size_t i = 0; i < dg.size(); ++i) dg[i] = dn[i] * ds[i] * (1.0f - ds[i]);
+        core::parallel_for(0, static_cast<int64_t>(dg.size()), kEwGrain,
+                           [&](int64_t b, int64_t e) {
+                             for (int64_t idx = b; idx < e; ++idx) {
+                               const size_t i = static_cast<size_t>(idx);
+                               dg[i] = dn[i] * ds[i] * (1.0f - ds[i]);
+                             }
+                           });
         an->accumulate(g);
       },
       "sigmoid");
@@ -263,14 +289,16 @@ Variable layernorm(const Variable& x, const Variable& gamma, const Variable& bet
     auto dh = xhat.data();
     const auto dm = mo.mean.data();
     const auto dr = mo.rstd.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float m = dm[static_cast<size_t>(r)];
-      const float rs = dr[static_cast<size_t>(r)];
-      for (int64_t c = 0; c < h; ++c) {
-        const size_t i = static_cast<size_t>(r * h + c);
-        dh[i] = (dx[i] - m) * rs;
+    core::parallel_for(0, rows, row_grain(h), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float m = dm[static_cast<size_t>(r)];
+        const float rs = dr[static_cast<size_t>(r)];
+        for (int64_t c = 0; c < h; ++c) {
+          const size_t i = static_cast<size_t>(r * h + c);
+          dh[i] = (dx[i] - m) * rs;
+        }
       }
-    }
+    });
   }
   ts::Tensor out = ts::add(ts::mul(xhat, gamma.value()), beta.value());
 
@@ -283,12 +311,19 @@ Variable layernorm(const Variable& x, const Variable& gamma, const Variable& bet
         if (gn->requires_grad) {
           ts::Tensor ggamma{ts::Shape{h}};
           auto d = ggamma.data();
-          for (int64_t r = 0; r < rows; ++r) {
-            for (int64_t c = 0; c < h; ++c) {
-              const size_t i = static_cast<size_t>(r * h + c);
-              d[static_cast<size_t>(c)] += dg[i] * dh[i];
+          // Column-parallel with the row walk kept ascending per column, so
+          // each gamma element sees the exact same addition order as the
+          // old row-major loop nest.
+          core::parallel_for(0, h, row_grain(rows), [&](int64_t c0, int64_t c1) {
+            for (int64_t c = c0; c < c1; ++c) {
+              float s = 0.0f;
+              for (int64_t r = 0; r < rows; ++r) {
+                const size_t i = static_cast<size_t>(r * h + c);
+                s += dg[i] * dh[i];
+              }
+              d[static_cast<size_t>(c)] = s;
             }
-          }
+          });
           gn->accumulate(ggamma);
         }
         if (bn->requires_grad) bn->accumulate(ts::sum_to_last(n.grad));
@@ -297,24 +332,26 @@ Variable layernorm(const Variable& x, const Variable& gamma, const Variable& bet
           auto dx = gx.data();
           const auto dgam = gn->value.data();
           const auto drs = rstd.data();
-          for (int64_t r = 0; r < rows; ++r) {
-            // dy = g * gamma;  dx = rstd * (dy - mean(dy) - xhat * mean(dy*xhat))
-            double s1 = 0.0, s2 = 0.0;
-            for (int64_t c = 0; c < h; ++c) {
-              const size_t i = static_cast<size_t>(r * h + c);
-              const float dy = dg[i] * dgam[static_cast<size_t>(c)];
-              s1 += dy;
-              s2 += static_cast<double>(dy) * dh[i];
+          core::parallel_for(0, rows, row_grain(h), [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              // dy = g * gamma;  dx = rstd * (dy - mean(dy) - xhat * mean(dy*xhat))
+              double s1 = 0.0, s2 = 0.0;
+              for (int64_t c = 0; c < h; ++c) {
+                const size_t i = static_cast<size_t>(r * h + c);
+                const float dy = dg[i] * dgam[static_cast<size_t>(c)];
+                s1 += dy;
+                s2 += static_cast<double>(dy) * dh[i];
+              }
+              const float m1 = static_cast<float>(s1 / static_cast<double>(h));
+              const float m2 = static_cast<float>(s2 / static_cast<double>(h));
+              const float rs = drs[static_cast<size_t>(r)];
+              for (int64_t c = 0; c < h; ++c) {
+                const size_t i = static_cast<size_t>(r * h + c);
+                const float dy = dg[i] * dgam[static_cast<size_t>(c)];
+                dx[i] = rs * (dy - m1 - dh[i] * m2);
+              }
             }
-            const float m1 = static_cast<float>(s1 / static_cast<double>(h));
-            const float m2 = static_cast<float>(s2 / static_cast<double>(h));
-            const float rs = drs[static_cast<size_t>(r)];
-            for (int64_t c = 0; c < h; ++c) {
-              const size_t i = static_cast<size_t>(r * h + c);
-              const float dy = dg[i] * dgam[static_cast<size_t>(c)];
-              dx[i] = rs * (dy - m1 - dh[i] * m2);
-            }
-          }
+          });
           xn->accumulate(gx);
         }
       },
@@ -333,17 +370,19 @@ Variable softmax_last(const Variable& a) {
         auto dx = gx.data();
         const auto ds = out.data();
         const auto dg = n.grad.data();
-        for (int64_t r = 0; r < rows; ++r) {
-          double dot = 0.0;
-          for (int64_t c = 0; c < cols; ++c) {
-            const size_t i = static_cast<size_t>(r * cols + c);
-            dot += static_cast<double>(dg[i]) * ds[i];
+        core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            double dot = 0.0;
+            for (int64_t c = 0; c < cols; ++c) {
+              const size_t i = static_cast<size_t>(r * cols + c);
+              dot += static_cast<double>(dg[i]) * ds[i];
+            }
+            for (int64_t c = 0; c < cols; ++c) {
+              const size_t i = static_cast<size_t>(r * cols + c);
+              dx[i] = ds[i] * (dg[i] - static_cast<float>(dot));
+            }
           }
-          for (int64_t c = 0; c < cols; ++c) {
-            const size_t i = static_cast<size_t>(r * cols + c);
-            dx[i] = ds[i] * (dg[i] - static_cast<float>(dot));
-          }
-        }
+        });
         an->accumulate(gx);
       },
       "softmax_last");
@@ -462,16 +501,18 @@ Variable cross_entropy_impl(const Variable& logits,
         ts::Tensor g{ln->value.shape()};
         auto dg = g.data();
         const auto dlp2 = logp.data();
-        for (int64_t i = 0; i < N; ++i) {
-          const int64_t y = labels[static_cast<size_t>(i)];
-          if (use_ignore && y == ignore_index) continue;  // zero grad row
-          for (int64_t c = 0; c < C; ++c) {
-            const size_t idx = static_cast<size_t>(i * C + c);
-            float p = std::exp(dlp2[idx]);
-            if (c == y) p -= 1.0f;
-            dg[idx] = seed * p / denom;
+        core::parallel_for(0, N, row_grain(C), [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const int64_t y = labels[static_cast<size_t>(i)];
+            if (use_ignore && y == ignore_index) continue;  // zero grad row
+            for (int64_t c = 0; c < C; ++c) {
+              const size_t idx = static_cast<size_t>(i * C + c);
+              float p = std::exp(dlp2[idx]);
+              if (c == y) p -= 1.0f;
+              dg[idx] = seed * p / denom;
+            }
           }
-        }
+        });
         ln->accumulate(g);
       },
       name);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "compress/wire.h"
+#include "core/threadpool.h"
 #include "tensor/check.h"
 #include "tensor/fp16.h"
 
@@ -16,6 +17,13 @@ std::pair<int64_t, int64_t> rows_cols(const tensor::Shape& s) {
   ACTCOMP_CHECK(s.rank() >= 1, "cannot quantize a scalar shape");
   const int64_t cols = s.dim(-1);
   return {cols == 0 ? 0 : s.numel() / cols, cols};
+}
+
+// Rows per parallel chunk for the per-row quantize kernels.
+constexpr int64_t kRowGrainElems = int64_t{1} << 13;
+
+int64_t row_grain(int64_t cols) {
+  return std::max<int64_t>(1, kRowGrainElems / std::max<int64_t>(1, cols));
 }
 }  // namespace
 
@@ -51,19 +59,61 @@ CompressedMessage QuantizeCompressor::encode(const tensor::Tensor& x) {
   CompressedMessage msg;
   msg.shape_dims = x.shape().dims();
   const int64_t payload = (x.numel() * bits_ + 7) / 8;
-  msg.body.reserve(static_cast<size_t>(payload + rows * 4));
+  const int64_t header = rows * 4;
 
   const auto d = x.data();
-  // Header: per-row (lo, scale) as fp16.
+  // Per-row (lo, scale): the min/max scan dominates encode cost.
   std::vector<RowParams> params(static_cast<size_t>(rows));
+  core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      params[static_cast<size_t>(r)] = row_params(d.data() + r * cols, cols);
+    }
+  });
   for (int64_t r = 0; r < rows; ++r) {
-    params[static_cast<size_t>(r)] = row_params(d.data() + r * cols, cols);
     wire::append_pod<uint16_t>(
         msg.body, tensor::fp32_to_fp16_bits(params[static_cast<size_t>(r)].lo));
     wire::append_pod<uint16_t>(
         msg.body, tensor::fp32_to_fp16_bits(params[static_cast<size_t>(r)].scale));
   }
+
   // Payload: bit-packed codes, little-endian within each byte.
+  const int64_t row_bits = cols * bits_;
+  if (row_bits % 8 == 0) {
+    // Rows start on byte boundaries, so every row owns a disjoint byte
+    // range of the payload and packs independently — byte-identical to the
+    // serial pass below.
+    const int64_t row_bytes = row_bits / 8;
+    msg.body.resize(static_cast<size_t>(header + payload));
+    std::byte* base = msg.body.data() + header;
+    core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const RowParams& p = params[static_cast<size_t>(r)];
+        std::byte* dst = base + r * row_bytes;
+        uint32_t acc = 0;
+        int acc_bits = 0;
+        for (int64_t c = 0; c < cols; ++c) {
+          uint32_t q = 0;
+          if (p.scale > 0.0f) {
+            const float normalized =
+                (d[static_cast<size_t>(r * cols + c)] - p.lo) / p.scale;
+            q = static_cast<uint32_t>(std::clamp(
+                std::lround(normalized), 0l, static_cast<long>(levels_ - 1)));
+          }
+          acc |= q << acc_bits;
+          acc_bits += bits_;
+          while (acc_bits >= 8) {
+            *dst++ = static_cast<std::byte>(acc & 0xFFu);
+            acc >>= 8;
+            acc_bits -= 8;
+          }
+        }
+      }
+    });
+    return msg;
+  }
+
+  // Rows straddle byte boundaries: the accumulator threads through the whole
+  // tensor, so the pack stays serial.
   uint32_t acc = 0;
   int acc_bits = 0;
   for (int64_t r = 0; r < rows; ++r) {
@@ -100,9 +150,36 @@ tensor::Tensor QuantizeCompressor::decode(const CompressedMessage& msg) const {
     const float scale = tensor::fp16_bits_to_fp32(wire::read_pod<uint16_t>(msg.body, off));
     params[static_cast<size_t>(r)] = {lo, scale};
   }
+  const uint32_t mask = static_cast<uint32_t>(levels_ - 1);
+  const int64_t row_bits = cols * bits_;
+  if (row_bits % 8 == 0) {
+    const int64_t row_bytes = row_bits / 8;
+    ACTCOMP_CHECK(off + static_cast<size_t>(rows * row_bytes) <= msg.body.size(),
+                  "truncated wire message");
+    const std::byte* base = msg.body.data() + off;
+    core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const RowParams& p = params[static_cast<size_t>(r)];
+        const std::byte* src = base + r * row_bytes;
+        uint32_t acc = 0;
+        int acc_bits = 0;
+        for (int64_t c = 0; c < cols; ++c) {
+          while (acc_bits < bits_) {
+            acc |= static_cast<uint32_t>(static_cast<uint8_t>(*src++)) << acc_bits;
+            acc_bits += 8;
+          }
+          const uint32_t q = acc & mask;
+          acc >>= bits_;
+          acc_bits -= bits_;
+          d[static_cast<size_t>(r * cols + c)] = p.lo + static_cast<float>(q) * p.scale;
+        }
+      }
+    });
+    return out;
+  }
+
   uint32_t acc = 0;
   int acc_bits = 0;
-  const uint32_t mask = static_cast<uint32_t>(levels_ - 1);
   for (int64_t r = 0; r < rows; ++r) {
     const RowParams& p = params[static_cast<size_t>(r)];
     for (int64_t c = 0; c < cols; ++c) {
@@ -124,19 +201,21 @@ tensor::Tensor QuantizeCompressor::round_trip(const tensor::Tensor& x) {
   tensor::Tensor out{x.shape()};
   const auto din = x.data();
   auto dout = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const RowParams p = row_params(din.data() + r * cols, cols);
-    for (int64_t c = 0; c < cols; ++c) {
-      const size_t i = static_cast<size_t>(r * cols + c);
-      if (p.scale <= 0.0f) {
-        dout[i] = p.lo;
-      } else {
-        const long q = std::clamp(std::lround((din[i] - p.lo) / p.scale), 0l,
-                                  static_cast<long>(levels_ - 1));
-        dout[i] = p.lo + static_cast<float>(q) * p.scale;
+  core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const RowParams p = row_params(din.data() + r * cols, cols);
+      for (int64_t c = 0; c < cols; ++c) {
+        const size_t i = static_cast<size_t>(r * cols + c);
+        if (p.scale <= 0.0f) {
+          dout[i] = p.lo;
+        } else {
+          const long q = std::clamp(std::lround((din[i] - p.lo) / p.scale), 0l,
+                                    static_cast<long>(levels_ - 1));
+          dout[i] = p.lo + static_cast<float>(q) * p.scale;
+        }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "autograd/functions.h"
 #include "compress/wire.h"
+#include "core/threadpool.h"
 #include "tensor/check.h"
 #include "tensor/fp16.h"
 #include "tensor/ops.h"
 
 namespace actcomp::compress {
+
+namespace {
+// Elements per parallel chunk for the gather/scatter loops.
+constexpr int64_t kEwGrain = int64_t{1} << 13;
+}  // namespace
 
 RandomKCompressor::RandomKCompressor(double fraction, uint64_t seed)
     : fraction_(fraction), gen_(seed) {
@@ -37,30 +44,45 @@ CompressedMessage RandomKCompressor::encode(const tensor::Tensor& x) {
   std::sort(kept.begin(), kept.end());
   CompressedMessage msg;
   msg.shape_dims = x.shape().dims();
-  msg.body.reserve(kept.size() * 6);
+  const int64_t k = static_cast<int64_t>(kept.size());
+  msg.body.resize(static_cast<size_t>(k) * 6);
   const auto d = x.data();
-  for (int64_t i : kept) wire::append_pod<int32_t>(msg.body, static_cast<int32_t>(i));
-  for (int64_t i : kept) {
-    wire::append_pod<uint16_t>(
-        msg.body, tensor::fp32_to_fp16_bits(d[static_cast<size_t>(i)]));
-  }
+  std::byte* idx_base = msg.body.data();
+  std::byte* val_base = msg.body.data() + static_cast<size_t>(k) * 4;
+  core::parallel_for(0, k, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      const int64_t src = kept[static_cast<size_t>(i)];
+      const int32_t j = static_cast<int32_t>(src);
+      std::memcpy(idx_base + i * 4, &j, 4);
+      const uint16_t v = tensor::fp32_to_fp16_bits(d[static_cast<size_t>(src)]);
+      std::memcpy(val_base + i * 2, &v, 2);
+    }
+  });
   return msg;
 }
 
 tensor::Tensor RandomKCompressor::decode(const CompressedMessage& msg) const {
   tensor::Shape shape{msg.shape_dims};
   const int64_t k = k_for(shape.numel());
+  ACTCOMP_CHECK(static_cast<size_t>(k) * 6 <= msg.body.size(),
+                "truncated random-k wire message");
   tensor::Tensor out{shape};
   auto d = out.data();
-  size_t off = 0;
-  std::vector<int32_t> idx(static_cast<size_t>(k));
-  for (int64_t i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = wire::read_pod<int32_t>(msg.body, off);
-  for (int64_t i = 0; i < k; ++i) {
-    const float v = tensor::fp16_bits_to_fp32(wire::read_pod<uint16_t>(msg.body, off));
-    const int32_t j = idx[static_cast<size_t>(i)];
-    ACTCOMP_CHECK(j >= 0 && j < shape.numel(), "random-k index out of range on wire");
-    d[static_cast<size_t>(j)] = v;
-  }
+  const std::byte* idx_base = msg.body.data();
+  const std::byte* val_base = msg.body.data() + static_cast<size_t>(k) * 4;
+  const int64_t numel = shape.numel();
+  // Sampling is without replacement, so wire indices are unique and the
+  // parallel scatter writes disjoint elements.
+  core::parallel_for(0, k, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      int32_t j = 0;
+      std::memcpy(&j, idx_base + i * 4, 4);
+      uint16_t bits = 0;
+      std::memcpy(&bits, val_base + i * 2, 2);
+      ACTCOMP_CHECK(j >= 0 && j < numel, "random-k index out of range on wire");
+      d[static_cast<size_t>(j)] = tensor::fp16_bits_to_fp32(bits);
+    }
+  });
   return out;
 }
 
@@ -74,11 +96,14 @@ autograd::Variable RandomKCompressor::apply(const autograd::Variable& x) {
   const auto din = xv.data();
   auto dout = out.data();
   auto dm = mask.data();
-  for (int64_t i : kept) {
-    dout[static_cast<size_t>(i)] = tensor::fp16_bits_to_fp32(
-        tensor::fp32_to_fp16_bits(din[static_cast<size_t>(i)]));
-    dm[static_cast<size_t>(i)] = 1.0f;
-  }
+  core::parallel_for(
+      0, static_cast<int64_t>(kept.size()), kEwGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const size_t j = static_cast<size_t>(kept[static_cast<size_t>(i)]);
+          dout[j] = tensor::fp16_bits_to_fp32(tensor::fp32_to_fp16_bits(din[j]));
+          dm[j] = 1.0f;
+        }
+      });
   return autograd::custom_unary(
       x, std::move(out),
       [mask](const tensor::Tensor& g, const tensor::Tensor&) {

@@ -2,14 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
 #include "compress/wire.h"
+#include "core/threadpool.h"
 #include "tensor/check.h"
 #include "tensor/fp16.h"
 
 namespace actcomp::compress {
+
+namespace {
+
+// Fixed chunk width for the parallel candidate pass. A constant (never
+// derived from the thread count) keeps the candidate layout — and therefore
+// the selected set — identical for any ACTCOMP_THREADS.
+constexpr int64_t kChunk = int64_t{1} << 16;
+
+// Elements per parallel chunk for the gather/scatter loops.
+constexpr int64_t kEwGrain = int64_t{1} << 13;
+
+}  // namespace
 
 TopKCompressor::TopKCompressor(double fraction) : fraction_(fraction) {
   ACTCOMP_CHECK(fraction > 0.0 && fraction <= 1.0,
@@ -32,50 +46,104 @@ int64_t TopKCompressor::k_for(int64_t numel) const {
 std::vector<int64_t> TopKCompressor::select(const tensor::Tensor& x) const {
   const int64_t n = x.numel();
   const int64_t k = k_for(n);
-  std::vector<int64_t> idx(static_cast<size_t>(n));
-  std::iota(idx.begin(), idx.end(), 0);
   const auto d = x.data();
-  // nth_element + sort of the head: O(n + k log k), matching a device topk.
-  std::nth_element(idx.begin(), idx.begin() + k, idx.end(),
-                   [&](int64_t a, int64_t b) {
-                     const float fa = std::fabs(d[static_cast<size_t>(a)]);
-                     const float fb = std::fabs(d[static_cast<size_t>(b)]);
-                     if (fa != fb) return fa > fb;
-                     return a < b;
-                   });
-  idx.resize(static_cast<size_t>(k));
-  std::sort(idx.begin(), idx.end());  // ascending index order on the wire
-  return idx;
+  // Strict total order: |magnitude| descending, index ascending as the
+  // tie-break. Under a total order the top-k *set* is unique, which is what
+  // makes the chunked pass below exact rather than approximate.
+  const auto before = [&](int64_t a, int64_t b) {
+    const float fa = std::fabs(d[static_cast<size_t>(a)]);
+    const float fb = std::fabs(d[static_cast<size_t>(b)]);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  };
+
+  if (n <= 2 * kChunk || k == n) {
+    // Small inputs: the seed path. nth_element + sort of the head is
+    // O(n + k log k), matching a device topk.
+    std::vector<int64_t> idx(static_cast<size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    std::nth_element(idx.begin(), idx.begin() + k, idx.end(), before);
+    idx.resize(static_cast<size_t>(k));
+    std::sort(idx.begin(), idx.end());  // ascending index order on the wire
+    return idx;
+  }
+
+  // Parallel exact top-k: each fixed-width chunk reduces to its own top
+  // min(k, chunk_len) candidates. Any member of the global top-k is by
+  // definition among the top-k of its chunk, so the candidate union
+  // provably contains the answer; a final nth_element over it reproduces
+  // the seed's selection exactly.
+  const int64_t nchunks = (n + kChunk - 1) / kChunk;
+  std::vector<int64_t> counts(static_cast<size_t>(nchunks));
+  std::vector<int64_t> offsets(static_cast<size_t>(nchunks) + 1, 0);
+  for (int64_t c = 0; c < nchunks; ++c) {
+    const int64_t len = std::min(kChunk, n - c * kChunk);
+    counts[static_cast<size_t>(c)] = std::min(k, len);
+    offsets[static_cast<size_t>(c) + 1] =
+        offsets[static_cast<size_t>(c)] + counts[static_cast<size_t>(c)];
+  }
+  std::vector<int64_t> cand(static_cast<size_t>(offsets.back()));
+  core::parallel_for(0, nchunks, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t b = c * kChunk;
+      const int64_t len = std::min(kChunk, n - b);
+      const int64_t kc = counts[static_cast<size_t>(c)];
+      std::vector<int64_t> idx(static_cast<size_t>(len));
+      std::iota(idx.begin(), idx.end(), b);
+      if (kc < len) std::nth_element(idx.begin(), idx.begin() + kc, idx.end(), before);
+      std::copy(idx.begin(), idx.begin() + kc,
+                cand.begin() + offsets[static_cast<size_t>(c)]);
+    }
+  });
+  std::nth_element(cand.begin(), cand.begin() + k, cand.end(), before);
+  cand.resize(static_cast<size_t>(k));
+  std::sort(cand.begin(), cand.end());
+  return cand;
 }
 
 CompressedMessage TopKCompressor::encode(const tensor::Tensor& x) {
   const std::vector<int64_t> kept = select(x);
+  const int64_t k = static_cast<int64_t>(kept.size());
   CompressedMessage msg;
   msg.shape_dims = x.shape().dims();
-  msg.body.reserve(kept.size() * 6);
+  msg.body.resize(static_cast<size_t>(k) * 6);
   const auto d = x.data();
-  for (int64_t i : kept) wire::append_pod<int32_t>(msg.body, static_cast<int32_t>(i));
-  for (int64_t i : kept) {
-    wire::append_pod<uint16_t>(
-        msg.body, tensor::fp32_to_fp16_bits(d[static_cast<size_t>(i)]));
-  }
+  std::byte* idx_base = msg.body.data();
+  std::byte* val_base = msg.body.data() + static_cast<size_t>(k) * 4;
+  core::parallel_for(0, k, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      const int32_t j = static_cast<int32_t>(kept[static_cast<size_t>(i)]);
+      std::memcpy(idx_base + i * 4, &j, 4);
+      const uint16_t v =
+          tensor::fp32_to_fp16_bits(d[static_cast<size_t>(kept[static_cast<size_t>(i)])]);
+      std::memcpy(val_base + i * 2, &v, 2);
+    }
+  });
   return msg;
 }
 
 tensor::Tensor TopKCompressor::decode(const CompressedMessage& msg) const {
   tensor::Shape shape{msg.shape_dims};
   const int64_t k = k_for(shape.numel());
+  ACTCOMP_CHECK(static_cast<size_t>(k) * 6 <= msg.body.size(),
+                "truncated top-k wire message");
   tensor::Tensor out{shape};
   auto d = out.data();
-  size_t off = 0;
-  std::vector<int32_t> idx(static_cast<size_t>(k));
-  for (int64_t i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = wire::read_pod<int32_t>(msg.body, off);
-  for (int64_t i = 0; i < k; ++i) {
-    const float v = tensor::fp16_bits_to_fp32(wire::read_pod<uint16_t>(msg.body, off));
-    const int32_t j = idx[static_cast<size_t>(i)];
-    ACTCOMP_CHECK(j >= 0 && j < shape.numel(), "top-k index out of range on wire");
-    d[static_cast<size_t>(j)] = v;
-  }
+  const std::byte* idx_base = msg.body.data();
+  const std::byte* val_base = msg.body.data() + static_cast<size_t>(k) * 4;
+  const int64_t numel = shape.numel();
+  // The encoder emits strictly ascending, unique indices, so per-element
+  // writes are disjoint and the scatter parallelizes cleanly.
+  core::parallel_for(0, k, kEwGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      int32_t j = 0;
+      std::memcpy(&j, idx_base + i * 4, 4);
+      uint16_t bits = 0;
+      std::memcpy(&bits, val_base + i * 2, 2);
+      ACTCOMP_CHECK(j >= 0 && j < numel, "top-k index out of range on wire");
+      d[static_cast<size_t>(j)] = tensor::fp16_bits_to_fp32(bits);
+    }
+  });
   return out;
 }
 
@@ -83,11 +151,15 @@ tensor::Tensor TopKCompressor::round_trip(const tensor::Tensor& x) {
   tensor::Tensor out{x.shape()};
   const auto din = x.data();
   auto dout = out.data();
-  for (int64_t i : select(x)) {
-    // fp16 on the wire, so round kept values through fp16 too.
-    dout[static_cast<size_t>(i)] = tensor::fp16_bits_to_fp32(
-        tensor::fp32_to_fp16_bits(din[static_cast<size_t>(i)]));
-  }
+  const std::vector<int64_t> kept = select(x);
+  core::parallel_for(
+      0, static_cast<int64_t>(kept.size()), kEwGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const size_t j = static_cast<size_t>(kept[static_cast<size_t>(i)]);
+          // fp16 on the wire, so round kept values through fp16 too.
+          dout[j] = tensor::fp16_bits_to_fp32(tensor::fp32_to_fp16_bits(din[j]));
+        }
+      });
   return out;
 }
 
@@ -101,9 +173,14 @@ tensor::Tensor TopKCompressor::vjp(const tensor::Tensor& grad_out,
   tensor::Tensor g{grad_out.shape()};
   const auto dg = grad_out.data();
   auto dout = g.data();
-  for (int64_t i : select(input)) {
-    dout[static_cast<size_t>(i)] = dg[static_cast<size_t>(i)];
-  }
+  const std::vector<int64_t> kept = select(input);
+  core::parallel_for(
+      0, static_cast<int64_t>(kept.size()), kEwGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const size_t j = static_cast<size_t>(kept[static_cast<size_t>(i)]);
+          dout[j] = dg[j];
+        }
+      });
   return g;
 }
 

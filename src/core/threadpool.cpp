@@ -1,0 +1,200 @@
+#include "core/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace actcomp::core {
+
+namespace {
+
+// Set while a pool worker is executing chunks; nested parallel_for calls on
+// such a thread run inline instead of re-entering the pool.
+thread_local bool t_in_worker = false;
+
+int env_threads() {
+  const char* env = std::getenv("ACTCOMP_THREADS");
+  long v = 0;
+  if (env != nullptr && *env != '\0') v = std::strtol(env, nullptr, 10);
+  if (v <= 0) v = static_cast<long>(std::thread::hardware_concurrency());
+  return static_cast<int>(std::clamp<long>(v, 1, 256));
+}
+
+// One parallel_for invocation. Chunks are claimed by atomic increment of
+// `next`; completion is tracked so the submitting thread can block until the
+// job drains even when workers are still finishing their last chunk.
+struct Job {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t nchunks = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable drained;
+  std::exception_ptr error;
+
+  // Claim and run chunks until none are left. Returns when this thread can
+  // take no more work (other threads may still be running their chunk).
+  void work() {
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        const int64_t b = begin + c * grain;
+        const int64_t e = std::min(end, b + grain);
+        try {
+          (*fn)(b, e);
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+      finish_chunk();
+    }
+  }
+
+  void finish_chunk() {
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == nchunks) {
+      std::lock_guard<std::mutex> lock(mu);  // pair with the wait's predicate
+      drained.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    drained.wait(lock, [&] { return done.load(std::memory_order_acquire) == nchunks; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int lanes) { start(lanes); }
+  ~ThreadPool() { stop(); }
+
+  static ThreadPool& instance() {
+    static ThreadPool pool(env_threads());
+    return pool;
+  }
+
+  int lanes() const { return lanes_; }
+
+  void resize(int lanes) {
+    stop();
+    start(std::max(1, lanes));
+  }
+
+  void submit_and_wait(const std::shared_ptr<Job>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(job);
+    }
+    cv_.notify_all();
+    job->work();  // the caller is a lane too
+    job->wait();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase(jobs_, job);
+  }
+
+ private:
+  void start(int lanes) {
+    lanes_ = lanes;
+    stopping_ = false;
+    for (int i = 0; i < lanes - 1; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  // The first queued job that still has unclaimed chunks (exhausted jobs
+  // linger until their submitter erases them). Caller must hold mu_.
+  std::shared_ptr<Job> claimable_job() const {
+    for (const auto& j : jobs_) {
+      if (j->next.load(std::memory_order_relaxed) < j->nchunks) return j;
+    }
+    return nullptr;
+  }
+
+  void worker_loop() {
+    t_in_worker = true;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return stopping_ || (job = claimable_job()) != nullptr;
+        });
+        if (stopping_) return;
+      }
+      job->work();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  int lanes_ = 1;
+};
+
+}  // namespace
+
+int num_threads() { return ThreadPool::instance().lanes(); }
+
+void set_num_threads(int n) { ThreadPool::instance().resize(n); }
+
+namespace detail {
+
+void parallel_chunks(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t n = end - begin;
+  const int64_t nchunks = (n + grain - 1) / grain;
+
+  ThreadPool& pool = ThreadPool::instance();
+  if (t_in_worker || pool.lanes() == 1 || nchunks == 1) {
+    // Inline path: identical chunk boundaries, sequential execution. Nested
+    // calls land here, so nesting can neither deadlock nor oversubscribe.
+    for (int64_t c = 0; c < nchunks; ++c) {
+      const int64_t b = begin + c * grain;
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->nchunks = nchunks;
+  job->fn = &fn;
+  pool.submit_and_wait(job);
+}
+
+}  // namespace detail
+
+}  // namespace actcomp::core

@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
 
+#include "core/threadpool.h"
 #include "tensor/check.h"
 
 namespace actcomp::tensor {
 
 namespace {
+
+// Elements per parallel_for chunk for elementwise kernels: large enough
+// that a chunk outweighs the dispatch cost, small enough to split the
+// biggest activations across the pool.
+constexpr int64_t kEwGrain = 1 << 13;
+
+// Rows per chunk for row-independent kernels (softmax, moments, ...):
+// aim for ~kEwGrain elements per chunk, at least one row.
+int64_t row_grain(int64_t cols) { return std::max<int64_t>(1, kEwGrain / std::max<int64_t>(1, cols)); }
 
 // True if `small` right-aligns with `big` (i.e. small's dims equal big's
 // trailing dims). Identical shapes qualify trivially.
@@ -31,11 +43,20 @@ Tensor binary_broadcast(const Tensor& a, const Tensor& b, F f, const char* name)
   const auto db = b.data();
   auto dout = out.data();
   const size_t nb = static_cast<size_t>(b.numel());
+  const int64_t n = static_cast<int64_t>(da.size());
   if (nb == da.size()) {
-    for (size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i]);
+    core::parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        dout[static_cast<size_t>(i)] = f(da[static_cast<size_t>(i)], db[static_cast<size_t>(i)]);
+      }
+    });
   } else {
     ACTCOMP_CHECK(nb > 0, name << ": empty broadcast operand");
-    for (size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i % nb]);
+    core::parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        dout[static_cast<size_t>(i)] = f(da[static_cast<size_t>(i)], db[static_cast<size_t>(i) % nb]);
+      }
+    });
   }
   return out;
 }
@@ -45,7 +66,12 @@ Tensor unary(const Tensor& a, F f) {
   Tensor out(a.shape());
   const auto da = a.data();
   auto dout = out.data();
-  for (size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i]);
+  core::parallel_for(0, static_cast<int64_t>(da.size()), kEwGrain,
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) {
+                         dout[static_cast<size_t>(i)] = f(da[static_cast<size_t>(i)]);
+                       }
+                     });
   return out;
 }
 
@@ -106,8 +132,226 @@ Tensor gelu_grad(const Tensor& a) {
 }
 
 Tensor map(const Tensor& a, const std::function<float(float)>& f) {
-  return unary(a, [&f](float x) { return f(x); });
+  // Deliberately serial: `f` is caller-supplied (tests/helpers) and may not
+  // be safe to invoke from several threads at once.
+  Tensor out(a.shape());
+  const auto da = a.data();
+  auto dout = out.data();
+  for (size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i]);
+  return out;
 }
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM (DESIGN.md §10).
+//
+// Layout: B is packed once per call into column panels of kNR columns,
+// k-major within the panel, so the micro-kernel streams it with unit
+// stride. The micro-kernel holds a kMR x kNR accumulator tile and walks k
+// in ascending order; k is additionally blocked by kKC so the hot panel
+// slice stays L1-resident, with the C tile reloaded between k-blocks.
+// Rows are parallelized via parallel_for.
+//
+// Determinism: every C element is owned by exactly one row chunk, and its
+// additions happen in ascending-k order no matter how rows are tiled or
+// which thread runs them — results are bit-identical for any thread count
+// (and match the old naive i-k-j kernel, which used the same order).
+namespace {
+
+constexpr int64_t kMR = 5;        // micro-tile rows
+constexpr int64_t kNR = 16;       // micro-tile cols = packed panel width
+constexpr int64_t kKC = 512;      // k-block: panel slice kKC*kNR*4 = 32 KiB
+constexpr int64_t kRowGrain = 32; // rows per parallel chunk
+// Below this many multiply-adds the packing + dispatch overhead outweighs
+// the cache wins; use the simple streaming kernel instead.
+constexpr int64_t kSimpleGemmFlops = 1 << 18;
+
+// The old i-k-j kernel minus its `av == 0` branch (see ISSUE 3): dense
+// inputs are the common case and the branch cost more than it saved.
+void gemm_simple(const float* a, const float* b, float* c, int64_t m,
+                 int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      const float* b_row = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// Pack b (k x n row-major) into ceil(n/kNR) panels. Panel p holds columns
+// [p*kNR, p*kNR + kNR) for every k row, contiguous, zero-padded on the
+// right edge so the micro-kernel never branches on width.
+std::vector<float> pack_b_panels(const float* b, int64_t k, int64_t n) {
+  const int64_t npanels = (n + kNR - 1) / kNR;
+  std::vector<float> bp(static_cast<size_t>(npanels * k * kNR));
+  core::parallel_for(0, npanels, 1, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t j0 = p * kNR;
+      const int64_t w = std::min(kNR, n - j0);
+      float* dst = bp.data() + p * k * kNR;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* src = b + kk * n + j0;
+        for (int64_t j = 0; j < w; ++j) dst[j] = src[j];
+        for (int64_t j = w; j < kNR; ++j) dst[j] = 0.0f;
+        dst += kNR;
+      }
+    }
+  });
+  return bp;
+}
+
+// C[mr x kNR] (+)= A[mr x kc] * panel[kc x kNR], full-width panels only.
+// MR and FIRST are compile-time so the accumulator tile is register
+// resident and the zero-init/reload choice (k-blocking) costs no branch in
+// the hot loop. The explicit vector type is load-bearing: with a plain
+// float[][] tile GCC's SLP vectorizer gives up on the accumulator and the
+// kernel runs ~7x slower than the streaming loop it is meant to replace.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float v8f __attribute__((vector_size(32)));
+
+template <int MR, bool FIRST>
+void gemm_micro(const float* __restrict__ a, int64_t lda,
+                const float* __restrict__ panel, float* __restrict__ c,
+                int64_t ldc, int64_t kc) {
+  v8f acc[MR][2];
+  for (int r = 0; r < MR; ++r) {
+    if (FIRST) {
+      acc[r][0] = v8f{};
+      acc[r][1] = v8f{};
+    } else {
+      std::memcpy(&acc[r][0], c + r * ldc, sizeof(v8f));
+      std::memcpy(&acc[r][1], c + r * ldc + 8, sizeof(v8f));
+    }
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    v8f b0, b1;
+    std::memcpy(&b0, panel + kk * kNR, sizeof(v8f));
+    std::memcpy(&b1, panel + kk * kNR + 8, sizeof(v8f));
+    for (int r = 0; r < MR; ++r) {
+      const float s = a[r * lda + kk];
+      const v8f av = {s, s, s, s, s, s, s, s};
+      acc[r][0] = acc[r][0] + av * b0;
+      acc[r][1] = acc[r][1] + av * b1;
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    std::memcpy(c + r * ldc, &acc[r][0], sizeof(v8f));
+    std::memcpy(c + r * ldc + 8, &acc[r][1], sizeof(v8f));
+  }
+}
+#else
+template <int MR, bool FIRST>
+void gemm_micro(const float* a, int64_t lda, const float* panel, float* c,
+                int64_t ldc, int64_t kc) {
+  float acc[MR][kNR];
+  for (int r = 0; r < MR; ++r) {
+    for (int64_t j = 0; j < kNR; ++j) {
+      acc[r][j] = FIRST ? 0.0f : c[r * ldc + j];
+    }
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* bk = panel + kk * kNR;
+    for (int r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      for (int64_t j = 0; j < kNR; ++j) acc[r][j] += av * bk[j];
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int64_t j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+#endif
+
+// Right-edge variant for the final panel when n % kNR != 0: same k order,
+// but C loads/stores are guarded by the live width w so the kernel never
+// touches memory past the row end. Scalar is fine here — the edge covers
+// at most kNR-1 of n columns.
+template <int MR>
+void gemm_micro_edge(const float* a, int64_t lda, const float* panel,
+                     float* c, int64_t ldc, int64_t kc, int64_t w,
+                     bool first) {
+  float acc[MR][kNR];
+  for (int r = 0; r < MR; ++r) {
+    for (int64_t j = 0; j < kNR; ++j) {
+      acc[r][j] = (first || j >= w) ? 0.0f : c[r * ldc + j];
+    }
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* bk = panel + kk * kNR;
+    for (int r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      for (int64_t j = 0; j < kNR; ++j) acc[r][j] += av * bk[j];
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int64_t j = 0; j < w; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+void gemm_micro_dispatch(int64_t mr, bool first, const float* a, int64_t lda,
+                         const float* panel, float* c, int64_t ldc,
+                         int64_t kc) {
+  switch (mr * 2 + (first ? 1 : 0)) {
+    case 11: gemm_micro<5, true>(a, lda, panel, c, ldc, kc); break;
+    case 10: gemm_micro<5, false>(a, lda, panel, c, ldc, kc); break;
+    case 9: gemm_micro<4, true>(a, lda, panel, c, ldc, kc); break;
+    case 8: gemm_micro<4, false>(a, lda, panel, c, ldc, kc); break;
+    case 7: gemm_micro<3, true>(a, lda, panel, c, ldc, kc); break;
+    case 6: gemm_micro<3, false>(a, lda, panel, c, ldc, kc); break;
+    case 5: gemm_micro<2, true>(a, lda, panel, c, ldc, kc); break;
+    case 4: gemm_micro<2, false>(a, lda, panel, c, ldc, kc); break;
+    case 3: gemm_micro<1, true>(a, lda, panel, c, ldc, kc); break;
+    default: gemm_micro<1, false>(a, lda, panel, c, ldc, kc); break;
+  }
+}
+
+void gemm_edge_dispatch(int64_t mr, const float* a, int64_t lda,
+                        const float* panel, float* c, int64_t ldc, int64_t kc,
+                        int64_t w, bool first) {
+  switch (mr) {
+    case 5: gemm_micro_edge<5>(a, lda, panel, c, ldc, kc, w, first); break;
+    case 4: gemm_micro_edge<4>(a, lda, panel, c, ldc, kc, w, first); break;
+    case 3: gemm_micro_edge<3>(a, lda, panel, c, ldc, kc, w, first); break;
+    case 2: gemm_micro_edge<2>(a, lda, panel, c, ldc, kc, w, first); break;
+    default: gemm_micro_edge<1>(a, lda, panel, c, ldc, kc, w, first); break;
+  }
+}
+
+// c (m x n, zero-initialized) += a (m x k) * b (k x n).
+void gemm_into(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  if (m == 0 || n == 0 || k == 0) return;
+  if (m * n * k <= kSimpleGemmFlops) {
+    gemm_simple(a, b, c, m, k, n);
+    return;
+  }
+  const std::vector<float> bp = pack_b_panels(b, k, n);
+  const int64_t npanels = (n + kNR - 1) / kNR;
+  core::parallel_for(0, m, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int64_t kc0 = 0; kc0 < k; kc0 += kKC) {
+      const int64_t kc = std::min(kKC, k - kc0);
+      for (int64_t p = 0; p < npanels; ++p) {
+        const float* panel = bp.data() + p * k * kNR + kc0 * kNR;
+        const int64_t j0 = p * kNR;
+        const int64_t w = std::min(kNR, n - j0);
+        for (int64_t i = r0; i < r1; i += kMR) {
+          const int64_t mr = std::min(kMR, r1 - i);
+          if (w == kNR) {
+            gemm_micro_dispatch(mr, kc0 == 0, a + i * k + kc0, k, panel,
+                                c + i * n + j0, n, kc);
+          } else {
+            gemm_edge_dispatch(mr, a + i * k + kc0, k, panel, c + i * n + j0,
+                               n, kc, w, kc0 == 0);
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
 
 Tensor matmul2d(const Tensor& a, const Tensor& b) {
   ACTCOMP_CHECK(a.rank() == 2 && b.rank() == 2,
@@ -117,20 +361,7 @@ Tensor matmul2d(const Tensor& a, const Tensor& b) {
   ACTCOMP_CHECK(k == k2, "matmul2d inner dims differ: " << a.shape().str() << " x "
                                                         << b.shape().str());
   Tensor out(Shape{m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = out.data().data();
-  // i-k-j loop order: innermost loop streams both B's row and C's row.
-  for (int64_t i = 0; i < m; ++i) {
-    float* c_row = pc + i * n;
-    const float* a_row = pa + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = a_row[kk];
-      if (av == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
+  gemm_into(a.data().data(), b.data().data(), out.data().data(), m, k, n);
   return out;
 }
 
@@ -153,18 +384,19 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     const float* pa = a.data().data();
     const float* pb = b.data().data();
     float* pc = out.data().data();
-    for (int64_t batch = 0; batch < B; ++batch) {
-      const float* ba = pa + batch * m * k;
-      const float* bb = pb + batch * k * n;
-      float* bc = pc + batch * m * n;
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t kk = 0; kk < k; ++kk) {
-          const float av = ba[i * k + kk];
-          if (av == 0.0f) continue;
-          const float* b_row = bb + kk * n;
-          float* c_row = bc + i * n;
-          for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    if (m * n * k <= kSimpleGemmFlops) {
+      // Small per-batch matrices (attention heads): parallelize across the
+      // batch instead of within one matrix.
+      core::parallel_for(0, B, 1, [&](int64_t b0, int64_t b1) {
+        for (int64_t batch = b0; batch < b1; ++batch) {
+          gemm_simple(pa + batch * m * k, pb + batch * k * n,
+                      pc + batch * m * n, m, k, n);
         }
+      });
+    } else {
+      for (int64_t batch = 0; batch < B; ++batch) {
+        gemm_into(pa + batch * m * k, pb + batch * k * n, pc + batch * m * n,
+                  m, k, n);
       }
     }
     return out;
@@ -200,16 +432,18 @@ Tensor permute(const Tensor& a, const std::vector<int>& axes) {
   auto dout = out.data();
   const int64_t n = a.numel();
   // For each output flat index, reconstruct multi-index and map to input.
-  for (int64_t flat = 0; flat < n; ++flat) {
-    int64_t rem = flat;
-    int64_t src = 0;
-    for (int i = 0; i < r; ++i) {
-      const int64_t coord = rem / out_strides[static_cast<size_t>(i)];
-      rem %= out_strides[static_cast<size_t>(i)];
-      src += coord * in_strides[static_cast<size_t>(axes[static_cast<size_t>(i)])];
+  core::parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t flat = lo; flat < hi; ++flat) {
+      int64_t rem = flat;
+      int64_t src = 0;
+      for (int i = 0; i < r; ++i) {
+        const int64_t coord = rem / out_strides[static_cast<size_t>(i)];
+        rem %= out_strides[static_cast<size_t>(i)];
+        src += coord * in_strides[static_cast<size_t>(axes[static_cast<size_t>(i)])];
+      }
+      dout[static_cast<size_t>(flat)] = din[static_cast<size_t>(src)];
     }
-    dout[static_cast<size_t>(flat)] = din[static_cast<size_t>(src)];
-  }
+  });
   return out;
 }
 
@@ -252,11 +486,13 @@ Tensor sum_last(const Tensor& a) {
   Tensor out{drop_last(a.shape())};
   const auto din = a.data();
   auto dout = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    double s = 0.0;
-    for (int64_t c = 0; c < cols; ++c) s += din[static_cast<size_t>(r * cols + c)];
-    dout[static_cast<size_t>(r)] = static_cast<float>(s);
-  }
+  core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      double s = 0.0;
+      for (int64_t c = 0; c < cols; ++c) s += din[static_cast<size_t>(r * cols + c)];
+      dout[static_cast<size_t>(r)] = static_cast<float>(s);
+    }
+  });
   return out;
 }
 
@@ -279,18 +515,20 @@ Tensor argmax_last(const Tensor& a) {
   Tensor out{drop_last(a.shape())};
   const auto din = a.data();
   auto dout = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    int64_t best = 0;
-    float bv = din[static_cast<size_t>(r * cols)];
-    for (int64_t c = 1; c < cols; ++c) {
-      const float v = din[static_cast<size_t>(r * cols + c)];
-      if (v > bv) {
-        bv = v;
-        best = c;
+  core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      int64_t best = 0;
+      float bv = din[static_cast<size_t>(r * cols)];
+      for (int64_t c = 1; c < cols; ++c) {
+        const float v = din[static_cast<size_t>(r * cols + c)];
+        if (v > bv) {
+          bv = v;
+          best = c;
+        }
       }
+      dout[static_cast<size_t>(r)] = static_cast<float>(best);
     }
-    dout[static_cast<size_t>(r)] = static_cast<float>(best);
-  }
+  });
   return out;
 }
 
@@ -299,19 +537,21 @@ Tensor softmax_last(const Tensor& a) {
   Tensor out(a.shape());
   const auto din = a.data();
   auto dout = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const size_t base = static_cast<size_t>(r * cols);
-    float m = -std::numeric_limits<float>::infinity();
-    for (int64_t c = 0; c < cols; ++c) m = std::max(m, din[base + static_cast<size_t>(c)]);
-    double z = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      const float e = std::exp(din[base + static_cast<size_t>(c)] - m);
-      dout[base + static_cast<size_t>(c)] = e;
-      z += e;
+  core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const size_t base = static_cast<size_t>(r * cols);
+      float m = -std::numeric_limits<float>::infinity();
+      for (int64_t c = 0; c < cols; ++c) m = std::max(m, din[base + static_cast<size_t>(c)]);
+      double z = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        const float e = std::exp(din[base + static_cast<size_t>(c)] - m);
+        dout[base + static_cast<size_t>(c)] = e;
+        z += e;
+      }
+      const float inv = static_cast<float>(1.0 / z);
+      for (int64_t c = 0; c < cols; ++c) dout[base + static_cast<size_t>(c)] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / z);
-    for (int64_t c = 0; c < cols; ++c) dout[base + static_cast<size_t>(c)] *= inv;
-  }
+  });
   return out;
 }
 
@@ -320,17 +560,19 @@ Tensor log_softmax_last(const Tensor& a) {
   Tensor out(a.shape());
   const auto din = a.data();
   auto dout = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const size_t base = static_cast<size_t>(r * cols);
-    float m = -std::numeric_limits<float>::infinity();
-    for (int64_t c = 0; c < cols; ++c) m = std::max(m, din[base + static_cast<size_t>(c)]);
-    double z = 0.0;
-    for (int64_t c = 0; c < cols; ++c) z += std::exp(din[base + static_cast<size_t>(c)] - m);
-    const float lz = m + static_cast<float>(std::log(z));
-    for (int64_t c = 0; c < cols; ++c) {
-      dout[base + static_cast<size_t>(c)] = din[base + static_cast<size_t>(c)] - lz;
+  core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const size_t base = static_cast<size_t>(r * cols);
+      float m = -std::numeric_limits<float>::infinity();
+      for (int64_t c = 0; c < cols; ++c) m = std::max(m, din[base + static_cast<size_t>(c)]);
+      double z = 0.0;
+      for (int64_t c = 0; c < cols; ++c) z += std::exp(din[base + static_cast<size_t>(c)] - m);
+      const float lz = m + static_cast<float>(std::log(z));
+      for (int64_t c = 0; c < cols; ++c) {
+        dout[base + static_cast<size_t>(c)] = din[base + static_cast<size_t>(c)] - lz;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -341,20 +583,22 @@ RowMoments row_moments(const Tensor& a, float eps) {
   const auto din = a.data();
   auto dmean = mo.mean.data();
   auto drstd = mo.rstd.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const size_t base = static_cast<size_t>(r * cols);
-    double s = 0.0;
-    for (int64_t c = 0; c < cols; ++c) s += din[base + static_cast<size_t>(c)];
-    const double mean = s / static_cast<double>(cols);
-    double var = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      const double d = din[base + static_cast<size_t>(c)] - mean;
-      var += d * d;
+  core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const size_t base = static_cast<size_t>(r * cols);
+      double s = 0.0;
+      for (int64_t c = 0; c < cols; ++c) s += din[base + static_cast<size_t>(c)];
+      const double mean = s / static_cast<double>(cols);
+      double var = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        const double d = din[base + static_cast<size_t>(c)] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(cols);
+      dmean[static_cast<size_t>(r)] = static_cast<float>(mean);
+      drstd[static_cast<size_t>(r)] = static_cast<float>(1.0 / std::sqrt(var + eps));
     }
-    var /= static_cast<double>(cols);
-    dmean[static_cast<size_t>(r)] = static_cast<float>(mean);
-    drstd[static_cast<size_t>(r)] = static_cast<float>(1.0 / std::sqrt(var + eps));
-  }
+  });
   return mo;
 }
 

@@ -1,0 +1,171 @@
+// Parallel runtime tests: parallel_for chunking edge cases, exception
+// semantics, nesting, and the determinism contract (DESIGN.md §10) — kernel
+// results must be bit-identical whatever the pool size.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "compress/topk.h"
+#include "core/threadpool.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace core = actcomp::core;
+namespace ts = actcomp::tensor;
+namespace cp = actcomp::compress;
+
+namespace {
+
+// Restores the pool size a test overrode so later tests (and other suites in
+// this binary) see the default again.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(core::num_threads()) {}
+  ~ThreadGuard() { core::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+std::vector<uint8_t> tensor_bytes(const ts::Tensor& t) {
+  const auto d = t.data();
+  std::vector<uint8_t> out(d.size() * sizeof(float));
+  if (!out.empty()) std::memcpy(out.data(), d.data(), out.size());
+  return out;
+}
+
+}  // namespace
+
+TEST(ParallelFor, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  core::parallel_for(0, 0, 4, [&](int64_t, int64_t) { ++calls; });
+  core::parallel_for(10, 10, 4, [&](int64_t, int64_t) { ++calls; });
+  core::parallel_for(5, 3, 4, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingletonRange) {
+  std::atomic<int> calls{0};
+  int64_t seen_b = -1, seen_e = -1;
+  core::parallel_for(7, 8, 100, [&](int64_t b, int64_t e) {
+    ++calls;
+    seen_b = b;
+    seen_e = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_b, 7);
+  EXPECT_EQ(seen_e, 8);
+}
+
+TEST(ParallelFor, UnalignedRangeCoversEveryIndexOnce) {
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    core::set_num_threads(threads);
+    // 103 elements, grain 7: a short last chunk and a start offset.
+    std::vector<std::atomic<int>> hits(103);
+    for (auto& h : hits) h.store(0);
+    core::parallel_for(13, 13 + 103, 7, [&](int64_t b, int64_t e) {
+      EXPECT_LT(b, e);
+      EXPECT_LE(e - b, 7);
+      for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i - 13)];
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ChunkBoundariesIndependentOfThreadCount) {
+  ThreadGuard guard;
+  auto boundaries = [](int threads) {
+    core::set_num_threads(threads);
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> out;
+    core::parallel_for(3, 250, 16, [&](int64_t b, int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.emplace_back(b, e);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(boundaries(1), boundaries(4));
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolSurvives) {
+  ThreadGuard guard;
+  core::set_num_threads(4);
+  EXPECT_THROW(
+      core::parallel_for(0, 1000, 1,
+                         [&](int64_t b, int64_t) {
+                           if (b == 137) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+  // The pool must be fully usable afterwards.
+  std::atomic<int64_t> sum{0};
+  core::parallel_for(0, 100, 10, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadGuard guard;
+  core::set_num_threads(4);
+  std::atomic<int64_t> total{0};
+  core::parallel_for(0, 8, 1, [&](int64_t, int64_t) {
+    // Inner loops run inline on the worker; this must terminate.
+    core::parallel_for(0, 100, 3, [&](int64_t b, int64_t e) {
+      total += e - b;
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 100);
+}
+
+TEST(Determinism, Matmul2dBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  ts::Generator gen(42);
+  // Odd sizes exercise the edge-panel and remainder-row paths too.
+  const ts::Tensor a = gen.normal(ts::Shape{95, 130});
+  const ts::Tensor b = gen.normal(ts::Shape{130, 77});
+  core::set_num_threads(1);
+  const auto ref = tensor_bytes(ts::matmul2d(a, b));
+  core::set_num_threads(4);
+  EXPECT_EQ(tensor_bytes(ts::matmul2d(a, b)), ref);
+}
+
+TEST(Determinism, RowMomentsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  ts::Generator gen(7);
+  const ts::Tensor x = gen.normal(ts::Shape{64, 96});
+  core::set_num_threads(1);
+  const auto m1 = ts::row_moments(x, 1e-5f);
+  core::set_num_threads(4);
+  const auto m4 = ts::row_moments(x, 1e-5f);
+  EXPECT_EQ(tensor_bytes(m1.mean), tensor_bytes(m4.mean));
+  EXPECT_EQ(tensor_bytes(m1.rstd), tensor_bytes(m4.rstd));
+}
+
+TEST(Determinism, TopKEncodeByteIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  ts::Generator gen(3);
+  // Big enough to take the chunked-candidate path (> 2 * 65536 elements).
+  const ts::Tensor x = gen.normal(ts::Shape{3, 65536});
+  cp::TopKCompressor c(0.1);
+  core::set_num_threads(1);
+  const auto m1 = c.encode(x);
+  core::set_num_threads(4);
+  const auto m4 = c.encode(x);
+  EXPECT_EQ(m1.body, m4.body);
+  EXPECT_EQ(m1.shape_dims, m4.shape_dims);
+}
+
+TEST(Determinism, NumThreadsReflectsResize) {
+  ThreadGuard guard;
+  core::set_num_threads(3);
+  EXPECT_EQ(core::num_threads(), 3);
+  core::set_num_threads(1);
+  EXPECT_EQ(core::num_threads(), 1);
+}
