@@ -20,6 +20,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("ablation_error_feedback");
   namespace ag = autograd;
   const int64_t seq = 24;
   const int64_t L = bench::bench_model_config(seq).num_layers;

@@ -21,6 +21,7 @@
 
 int main(int argc, char** argv) {
   using namespace actcomp;
+  obs::RunReport report("ablation_faults");
   const int trials = argc > 1 ? std::atoi(argv[1]) : 25;
   const uint64_t base_seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
 

@@ -17,6 +17,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("ablation_lowrank");
   namespace ts = tensor;
   namespace ag = autograd;
 

@@ -8,6 +8,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("ablation_overhead_model");
   const auto cluster = sim::ClusterSpec::local_pcie();
   std::printf(
       "Ablation — Random-K encoder implementation (fine-tune, PCIe, b=32, s=512)\n\n");

@@ -16,6 +16,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("ablation_overlap");
   const parallel::TrainJob job{128, 8, 128};
   const auto model = nn::BertConfig::bert_large();
 

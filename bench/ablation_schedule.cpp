@@ -13,6 +13,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("ablation_schedule");
   std::printf(
       "Ablation — GPipe vs 1F1B vs interleaved-1F1B schedules\n"
       "(pre-training grid, 4 nodes; interleaved uses v=2 model chunks)\n\n");

@@ -46,6 +46,7 @@ double t3_cell_with_bytes_per_kept(double bytes_per_kept, int64_t extra_fixed) {
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("ablation_wire_formats");
   std::printf(
       "Ablation — Top-K wire formats (T3, fine-tune, PCIe, TP=4/PP=1)\n\n");
   const int64_t numel = 32LL * 512 * 1024;

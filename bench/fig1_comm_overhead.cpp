@@ -7,6 +7,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("fig1_comm_overhead");
   std::printf(
       "Figure 1 — model-parallel communication share of iteration time\n"
       "(BERT-Large, fp16, 4 GPUs TP=4, PCIe machine)\n\n");

@@ -17,6 +17,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("fig2_lowrank");
   namespace ag = autograd;
   namespace ts = tensor;
 

@@ -15,6 +15,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("fig4_layers_location");
   const int64_t seq = 24;
   const int64_t L = bench::bench_model_config(seq).num_layers;
   const auto setting = compress::Setting::kA2;

@@ -16,6 +16,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("fig5_perf_model");
   const auto cluster = sim::ClusterSpec::local_pcie();
   const std::vector<int64_t> hs = {256,  512,  1024, 2048,
                                    4096, 8192, 12288, 16384};

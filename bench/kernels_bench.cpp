@@ -1,17 +1,24 @@
 // Machine-readable kernel benchmark: times the parallel compute core
 // (blocked GEMM, compressor encode/decode, one end-to-end fine-tune step)
-// across thread counts and writes BENCH_kernels.json next to the binary's
-// working directory. Each record carries {op, shape, threads, ns_op, gb_s}
-// plus op-specific extras (gflops, speedup_vs_seed).
+// across thread counts. Output is a canonical RunReport document
+// (actcomp.run_report.v1, see obs/report.h): each measurement is one entry
+// of the "records" array carrying {op, shape, threads, ns_op, gb_s} plus
+// op-specific extras (gflops, speedup_vs_seed). The checked-in baseline
+// lives at bench/baselines/BENCH_kernels.json; README's Performance table
+// is derived from it.
 //
 // The GEMM baseline is a verbatim copy of the seed repo's matmul2d loop
 // (including its zero-skip branch), compiled at this file's default
 // optimization level — "speedup_vs_seed" is measured against it.
 //
-//   $ ./kernels_bench [out.json]
+//   $ ./kernels_bench [--quick] [out.json]
+//
+// --quick trims the shape sweep to a few-second run for CI (ci.sh bench);
+// the full sweep is what baselines are regenerated from.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +27,7 @@
 #include "compress/topk.h"
 #include "core/threadpool.h"
 #include "nn/bert.h"
+#include "obs/report.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
 #include "train/optimizer.h"
@@ -29,6 +37,7 @@ namespace ag = actcomp::autograd;
 namespace nn = actcomp::nn;
 namespace cp = actcomp::compress;
 namespace core = actcomp::core;
+namespace obs = actcomp::obs;
 
 namespace {
 
@@ -62,42 +71,21 @@ double best_of(int reps, Fn&& fn) {
   return best;
 }
 
-struct Record {
-  std::string op;
-  std::string shape;
-  int threads = 1;
-  double ns_op = 0.0;
-  double gb_s = 0.0;
-  double gflops = -1.0;          // < 0: omit from JSON
-  double speedup_vs_seed = -1.0; // < 0: omit from JSON
-};
+int g_emitted = 0;
 
-std::vector<Record> g_records;
-
-void emit(Record r) { g_records.push_back(std::move(r)); }
-
-void write_json(const char* path) {
-  FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < g_records.size(); ++i) {
-    const Record& r = g_records[i];
-    std::fprintf(f,
-                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
-                 "\"ns_op\": %.1f, \"gb_s\": %.3f",
-                 r.op.c_str(), r.shape.c_str(), r.threads, r.ns_op, r.gb_s);
-    if (r.gflops >= 0.0) std::fprintf(f, ", \"gflops\": %.2f", r.gflops);
-    if (r.speedup_vs_seed >= 0.0) {
-      std::fprintf(f, ", \"speedup_vs_seed\": %.2f", r.speedup_vs_seed);
-    }
-    std::fprintf(f, "}%s\n", i + 1 < g_records.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("\nwrote %zu records to %s\n", g_records.size(), path);
+void emit(const std::string& op, const std::string& shape, int threads,
+          double ns_op, double gb_s, double gflops = -1.0,
+          double speedup_vs_seed = -1.0) {
+  obs::json::Value r = obs::json::Value::object();
+  r.set("op", op);
+  r.set("shape", shape);
+  r.set("threads", threads);
+  r.set("ns_op", ns_op);
+  r.set("gb_s", gb_s);
+  if (gflops >= 0.0) r.set("gflops", gflops);
+  if (speedup_vs_seed >= 0.0) r.set("speedup_vs_seed", speedup_vs_seed);
+  obs::RunReport::current()->add_record(std::move(r));
+  ++g_emitted;
 }
 
 void bench_matmul(int64_t m, int64_t k, int64_t n, bool run_seed) {
@@ -120,16 +108,16 @@ void bench_matmul(int64_t m, int64_t k, int64_t n, bool run_seed) {
     seed_t = best_of(reps, [&] {
       seed_matmul(a.data().data(), b.data().data(), c.data().data(), m, k, n);
     });
-    emit({"matmul2d_seed", shape, 1, seed_t * 1e9, bytes / seed_t / 1e9,
-          flops / seed_t / 1e9, -1.0});
+    emit("matmul2d_seed", shape, 1, seed_t * 1e9, bytes / seed_t / 1e9,
+         flops / seed_t / 1e9);
     std::printf("matmul2d_seed %-18s t=1  %8.1f ms  %6.1f GFLOP/s\n", shape,
                 seed_t * 1e3, flops / seed_t / 1e9);
   }
   for (int threads : {1, 2, 4}) {
     core::set_num_threads(threads);
     const double t = best_of(reps, [&] { ts::matmul2d(a, b); });
-    emit({"matmul2d", shape, threads, t * 1e9, bytes / t / 1e9,
-          flops / t / 1e9, seed_t > 0 ? seed_t / t : -1.0});
+    emit("matmul2d", shape, threads, t * 1e9, bytes / t / 1e9, flops / t / 1e9,
+         seed_t > 0 ? seed_t / t : -1.0);
     std::printf("matmul2d      %-18s t=%d  %8.1f ms  %6.1f GFLOP/s%s\n", shape,
                 threads, t * 1e3, flops / t / 1e9,
                 seed_t > 0
@@ -150,10 +138,10 @@ void bench_compressor(const char* label, C& c, const ts::Tensor& x) {
     const auto msg = c.encode(x);
     const double te = best_of(3, [&] { c.encode(x); });
     const double td = best_of(3, [&] { c.decode(msg); });
-    emit({std::string(label) + "_encode", shape, threads, te * 1e9,
-          in_bytes / te / 1e9, -1.0, -1.0});
-    emit({std::string(label) + "_decode", shape, threads, td * 1e9,
-          in_bytes / td / 1e9, -1.0, -1.0});
+    emit(std::string(label) + "_encode", shape, threads, te * 1e9,
+         in_bytes / te / 1e9);
+    emit(std::string(label) + "_decode", shape, threads, td * 1e9,
+         in_bytes / td / 1e9);
     std::printf("%-13s %-18s t=%d  enc %6.2f GB/s  dec %6.2f GB/s\n", label,
                 shape, threads, in_bytes / te / 1e9, in_bytes / td / 1e9);
   }
@@ -198,7 +186,7 @@ void bench_finetune_step() {
     };
     step();  // warm-up (allocations, first-touch)
     const double t = best_of(3, step);
-    emit({"finetune_step", shape, threads, t * 1e9, 0.0, -1.0, -1.0});
+    emit("finetune_step", shape, threads, t * 1e9, 0.0);
     std::printf("finetune_step %-18s t=%d  %8.1f ms/step\n", shape, threads,
                 t * 1e3);
   }
@@ -208,22 +196,39 @@ void bench_finetune_step() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out = argc > 1 ? argv[1] : "BENCH_kernels.json";
-  std::printf("kernel benchmarks (pool default: %d threads)\n\n",
-              core::num_threads());
+  bool quick = false;
+  const char* out = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out = argv[i];
+    }
+  }
+  obs::RunReport report("kernels_bench");
+  report.set_config("quick", quick);
+  report.set_config("seed", int64_t{99});
+  std::printf("kernel benchmarks (pool default: %d threads)%s\n\n",
+              core::num_threads(), quick ? " [quick]" : "");
 
   // The acceptance shape first, then the paper's hidden sizes as
-  // (tokens x hidden x hidden) projections with tokens = 512.
+  // (tokens x hidden x hidden) projections with tokens = 512. Quick mode
+  // keeps one seeded shape and one larger hidden size.
   bench_matmul(512, 512, 512, /*run_seed=*/true);
-  bench_matmul(768, 768, 768, /*run_seed=*/true);
-  for (int64_t hidden : {768, 1024, 2048, 4096, 8192}) {
-    bench_matmul(512, hidden, hidden, /*run_seed=*/hidden <= 4096);
+  if (!quick) {
+    bench_matmul(768, 768, 768, /*run_seed=*/true);
+    for (int64_t hidden : {768, 1024, 2048, 4096, 8192}) {
+      bench_matmul(512, hidden, hidden, /*run_seed=*/hidden <= 4096);
+    }
+  } else {
+    bench_matmul(512, 1024, 1024, /*run_seed=*/true);
   }
 
   std::printf("\n");
   {
     ts::Generator gen(11);
-    const ts::Tensor x = gen.normal(ts::Shape{256, 16384});  // 16 MiB
+    const ts::Tensor x =
+        gen.normal(quick ? ts::Shape{64, 16384} : ts::Shape{256, 16384});
     cp::TopKCompressor topk(0.1);
     bench_compressor("topk(0.1)", topk, x);
     cp::QuantizeCompressor quant(4);
@@ -233,6 +238,16 @@ int main(int argc, char** argv) {
   std::printf("\n");
   bench_finetune_step();
 
-  write_json(out);
+  // The argv path gets the same canonical document the RunReport writes to
+  // $ACTCOMP_REPORT_DIR — this is what baselines are committed from.
+  const std::string doc = report.to_json().dump(2);
+  if (FILE* f = std::fopen(out, "w")) {
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %d records to %s\n", g_emitted, out);
+  } else {
+    std::fprintf(stderr, "cannot open %s for writing\n", out);
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "autograd/functions.h"
 #include "core/threadpool.h"
 #include "data/vocab.h"
+#include "obs/report.h"
 #include "tensor/check.h"
 #include "train/optimizer.h"
 
@@ -225,6 +226,12 @@ FaultSweepSummary FaultSweep::run(
 void print_table(const std::vector<std::string>& header,
                  const std::vector<std::vector<std::string>>& rows,
                  int first_width, int col_width) {
+  // Every printed table is also captured into the active RunReport (if any),
+  // so a bench main gets machine-readable output by declaring one RunReport —
+  // no per-table plumbing.
+  if (obs::RunReport* report = obs::RunReport::current()) {
+    report->add_table(header, rows);
+  }
   auto print_row = [&](const std::vector<std::string>& row) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i == 0) {

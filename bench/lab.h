@@ -28,6 +28,7 @@
 #include "core/binder.h"
 #include "data/dataset.h"
 #include "nn/bert.h"
+#include "obs/report.h"
 #include "sim/faults.h"
 #include "train/trainer.h"
 

@@ -8,6 +8,8 @@
 
 #include "bench/lab.h"
 #include "core/compression_plan.h"
+#include "obs/accounting.h"
+#include "obs/report.h"
 #include "parallel/mp_simulator.h"
 #include "sim/hardware.h"
 
@@ -32,6 +34,23 @@ inline double cell_total_ms(const sim::ClusterSpec& cluster,
   const auto plan = core::CompressionPlan::paper_default(
       setting, nn::BertConfig::bert_large().num_layers);
   return sim.run(plan).total_ms();
+}
+
+/// One row of a Table-4/7 style breakdown table: the label plus the eight
+/// numeric columns, computed through the canonical obs accounting (the same
+/// projection the RunReport serializes). Both breakdown benches use this, so
+/// the printed tables, the goldens, and the JSON can never disagree. Also
+/// mirrors the row into the active RunReport as a structured phase.
+inline std::vector<std::string> breakdown_row(
+    const std::string& label, const parallel::IterationBreakdown& r,
+    obs::Accounting accounting) {
+  const obs::PhaseBreakdown b = r.phase_breakdown(accounting);
+  if (obs::RunReport* report = obs::RunReport::current()) {
+    report->add_phase(label, accounting, b);
+  }
+  std::vector<std::string> row{label};
+  for (double v : obs::breakdown_columns(b)) row.push_back(fmt(v));
+  return row;
 }
 
 /// A full iteration-time table in the paper's layout: one row per

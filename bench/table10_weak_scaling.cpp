@@ -36,6 +36,7 @@ void print_rows(const std::vector<std::string>& header,
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table10_weak_scaling");
   // Fit on the communication-constrained platform (PCIe): the paper's own
   // fitted beta implies effective all-reduce bandwidth far below an NVLink
   // ring, and on NVLink the speedup column degenerates to 1.00x throughout.

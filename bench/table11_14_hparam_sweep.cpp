@@ -11,6 +11,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table11_14_hparam_sweep");
   std::vector<compress::Setting> cols = compress::main_settings();
   cols.push_back(compress::Setting::kQ3);  // the appendix tables include Q3
 

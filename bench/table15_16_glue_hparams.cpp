@@ -66,6 +66,7 @@ void run_panel(const char* caption, int64_t seq, int64_t batch) {
 }  // namespace
 
 int main() {
+  obs::RunReport report("table15_16_glue_hparams");
   std::printf(
       "Tables 15-16 — fine-tuning accuracy x100 at smaller shapes (scale %.2f)\n\n",
       bench::bench_scale());

@@ -9,6 +9,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table2_finetune_nvlink");
   bench::print_iteration_table(
       "Table 2 — fine-tuning iteration time (ms), NVLink machine",
       sim::ClusterSpec::aws_p3(1), bench::finetune_parallel_rows(),

@@ -6,6 +6,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table3_nvlink_ablation");
   const std::vector<compress::Setting> cols = {
       compress::Setting::kBaseline, compress::Setting::kA1, compress::Setting::kA2};
   bench::print_iteration_table("Table 3a — fine-tuning with NVLink",

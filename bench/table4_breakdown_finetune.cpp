@@ -9,25 +9,24 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table4_breakdown_finetune");
+  report.set_config("tp", int64_t{2});
+  report.set_config("pp", int64_t{2});
+  report.set_config("micro_batch", int64_t{32});
+  report.set_config("seq", int64_t{512});
+  report.set_config("cluster", "local_pcie");
   const auto cluster = sim::ClusterSpec::local_pcie();
   parallel::ModelParallelSimulator sim(cluster, nn::BertConfig::bert_large(),
                                        {2, 2}, {32, 1, 512});
   std::printf(
       "Table 4 — fine-tuning breakdown (ms), TP=2/PP=2, b=32, s=512, PCIe\n\n");
-  std::vector<std::string> header{"Algorithm", "Forward",  "Backward", "Optim",
-                                  "Wait&Pipe", "Total",    "Enc",      "Dec",
-                                  "TensorComm"};
   std::vector<std::vector<std::string>> body;
   for (auto s : compress::main_settings()) {
     const auto plan = core::CompressionPlan::paper_default(s, 24);
-    const auto r = sim.run(plan);
-    body.push_back({compress::setting_label(s), bench::fmt(r.fwd_critical_ms),
-                    bench::fmt(r.bwd_critical_ms), bench::fmt(r.optimizer_ms),
-                    bench::fmt(r.waiting_finetune_ms()), bench::fmt(r.total_ms()),
-                    bench::fmt(r.enc_ms), bench::fmt(r.dec_ms),
-                    bench::fmt(r.tensor_comm_ms)});
+    body.push_back(bench::breakdown_row(compress::setting_label(s), sim.run(plan),
+                                        obs::Accounting::kFinetune));
   }
-  bench::print_table(header, body, 12);
+  bench::print_table(obs::breakdown_header(), body, 12);
   std::printf(
       "\nPaper reference (Table 4): w/o total 646.14 (fwd 276.34, bwd 354.16,\n"
       "tensor comm 150.72); A1 total 586.65 with enc 2.16 / dec 3.12 /\n"

@@ -21,6 +21,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table5_glue_finetune");
   const std::vector<compress::Setting> settings = {
       compress::Setting::kBaseline, compress::Setting::kA1,
       compress::Setting::kA2,       compress::Setting::kT1,

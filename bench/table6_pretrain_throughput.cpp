@@ -9,6 +9,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table6_pretrain_throughput");
   bench::print_iteration_table(
       "Table 6 — pre-training iteration time (ms), 4 nodes x 4 V100",
       sim::ClusterSpec::aws_p3(4), bench::pretrain_parallel_rows(),

@@ -8,25 +8,25 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table7_breakdown_pretrain");
+  report.set_config("tp", int64_t{4});
+  report.set_config("pp", int64_t{4});
+  report.set_config("micro_batch", int64_t{128});
+  report.set_config("num_micro", int64_t{8});
+  report.set_config("seq", int64_t{128});
+  report.set_config("cluster", "aws_p3x4");
   parallel::ModelParallelSimulator sim(sim::ClusterSpec::aws_p3(4),
                                        nn::BertConfig::bert_large(), {4, 4},
                                        {128, 8, 128});
   std::printf(
       "Table 7 — pre-training breakdown (ms), TP=4/PP=4, 4 nodes\n\n");
-  std::vector<std::string> header{"Algorithm", "Forward",  "Backward", "Optim",
-                                  "Wait&Pipe", "Total",    "Enc",      "Dec",
-                                  "TensorComm"};
   std::vector<std::vector<std::string>> body;
   for (auto s : compress::main_settings()) {
     const auto plan = core::CompressionPlan::paper_default(s, 24);
-    const auto r = sim.run(plan);
-    body.push_back({compress::setting_label(s), bench::fmt(r.fwd_busy_max_ms),
-                    bench::fmt(r.bwd_busy_max_ms), bench::fmt(r.optimizer_ms),
-                    bench::fmt(r.waiting_pretrain_ms()), bench::fmt(r.total_ms()),
-                    bench::fmt(r.enc_ms), bench::fmt(r.dec_ms),
-                    bench::fmt(r.tensor_comm_ms)});
+    body.push_back(bench::breakdown_row(compress::setting_label(s), sim.run(plan),
+                                        obs::Accounting::kPretrain));
   }
-  bench::print_table(header, body, 12);
+  bench::print_table(obs::breakdown_header(), body, 12);
   std::printf(
       "\nPaper reference (Table 7): w/o total 1,422 with wait 528; A1 total\n"
       "1,243 with wait 233; quantization inflates waiting (Q1 wait 1,205)\n"

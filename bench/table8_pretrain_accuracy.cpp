@@ -23,6 +23,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table8_pretrain_accuracy");
   namespace ts = tensor;
   const int64_t seq = 24;
   const nn::BertConfig cfg = bench::bench_model_config(seq);

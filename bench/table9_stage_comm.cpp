@@ -9,6 +9,7 @@
 
 int main() {
   using namespace actcomp;
+  obs::RunReport report("table9_stage_comm");
   parallel::ModelParallelSimulator sim(sim::ClusterSpec::aws_p3(4),
                                        nn::BertConfig::bert_large(), {4, 4},
                                        {128, 8, 128});

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point. Three jobs:
+# CI entry point. Five jobs:
 #   ./ci.sh verify    — tier-1: configure, build, run the full test suite
 #   ./ci.sh sanitize  — ASan+UBSan build of src/ + tests, warnings-as-errors
 #   ./ci.sh tsan      — TSan build; runs the parallel-runtime test slice
+#   ./ci.sh docs      — markdown links resolve; EXPERIMENTS.md covers every
+#                       bench binary and names no binary that doesn't build
+#   ./ci.sh bench     — kernels_bench --quick through the RunReport schema,
+#                       plus the <2% profiler-overhead gate (DESIGN.md §11)
 # No arguments runs all in sequence.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -42,27 +46,53 @@ tsan() {
     -DACTCOMP_WERROR=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
-    --target core_test tensor_test compress_test
+    --target core_test tensor_test compress_test obs_test
   # Everything that calls parallel_for runs under TSan: the runtime itself
-  # (core/), the tensor kernels (tensor/), and the compressor kernels
-  # (compress/). --no-tests=error guards against a prefix regression
-  # silently deselecting the slice.
+  # (core/), the tensor kernels (tensor/), the compressor kernels
+  # (compress/), and the profiler/registry (obs/), whose zone buffers and
+  # CAS loops are exactly the cross-thread state TSan can vet.
+  # --no-tests=error guards against a prefix regression silently
+  # deselecting the slice.
   TSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir build-tsan -R 'core/|tensor/|compress/' \
+    ctest --test-dir build-tsan -R 'core/|tensor/|compress/|obs/' \
       --no-tests=error --output-on-failure -j "$jobs"
+}
+
+docs() {
+  python3 tools/check_docs.py
+}
+
+bench() {
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target kernels_bench
+  mkdir -p build/bench-ci
+  # Two quick runs of the same seeded sweep: profiler off, then on. The
+  # overhead gate compares their finetune_step timings (ISSUE acceptance:
+  # enabled-profiler overhead < 2%; override with ACTCOMP_OVERHEAD_PCT).
+  (cd build/bench-ci &&
+    ACTCOMP_PROF=0 ../bench/kernels_bench --quick bench_prof_off.json)
+  (cd build/bench-ci &&
+    ACTCOMP_PROF=1 ../bench/kernels_bench --quick bench_prof_on.json)
+  python3 tools/check_overhead.py \
+    build/bench-ci/bench_prof_off.json build/bench-ci/bench_prof_on.json \
+    "${ACTCOMP_OVERHEAD_PCT:-2.0}"
 }
 
 case "${1:-all}" in
   verify) verify ;;
   sanitize) sanitize ;;
   tsan) tsan ;;
+  docs) docs ;;
+  bench) bench ;;
   all)
     verify
     sanitize
     tsan
+    docs
+    bench
     ;;
   *)
-    echo "usage: $0 [verify|sanitize|tsan|all]" >&2
+    echo "usage: $0 [verify|sanitize|tsan|docs|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -27,6 +27,7 @@
 
 int main(int argc, char** argv) {
   using namespace actcomp;
+  obs::RunReport report("throughput_explorer");
   bool faults_mode = false;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -54,6 +55,12 @@ int main(int argc, char** argv) {
   }
 
   const nn::BertConfig model = nn::BertConfig::bert_large();
+  report.set_config("platform", platform);
+  report.set_config("tp", int64_t{tp});
+  report.set_config("pp", int64_t{pp});
+  report.set_config("micro_batch", micro);
+  report.set_config("num_micro", num_micro);
+  report.set_config("seq", seq);
   parallel::ModelParallelSimulator simulator(cluster, model, {tp, pp},
                                              {micro, num_micro, seq});
   std::printf(
@@ -78,13 +85,18 @@ int main(int argc, char** argv) {
 
   const auto plan =
       core::CompressionPlan::paper_default(best_setting, model.num_layers);
-  const auto r = simulator.run(plan);
+  // Same projection the breakdown benches use (obs/accounting.h), mirrored
+  // into the report as a structured phase.
+  const obs::PhaseBreakdown b =
+      simulator.run(plan).phase_breakdown(obs::Accounting::kFinetune);
+  report.add_phase(compress::setting_label(best_setting),
+                   obs::Accounting::kFinetune, b);
   std::printf(
       "\nBest: %s (%.2f ms). Breakdown: fwd %.1f, bwd %.1f, optim %.1f,\n"
       "waiting+pipe %.1f, enc %.2f, dec %.2f, tensor comm %.2f ms.\n",
-      compress::setting_label(best_setting).c_str(), r.total_ms(),
-      r.fwd_critical_ms, r.bwd_critical_ms, r.optimizer_ms,
-      r.waiting_finetune_ms(), r.enc_ms, r.dec_ms, r.tensor_comm_ms);
+      compress::setting_label(best_setting).c_str(), b.total_ms, b.forward_ms,
+      b.backward_ms, b.optimizer_ms, b.waiting_ms, b.encode_ms, b.decode_ms,
+      b.tensor_comm_ms);
   if (best_setting == compress::Setting::kBaseline) {
     std::printf(
         "\nOn this configuration compression does not pay — the paper's\n"

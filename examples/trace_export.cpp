@@ -12,10 +12,15 @@
 #include <fstream>
 #include <string>
 
+#include "obs/json.h"
+#include "obs/profiler.h"
+#include "obs/report.h"
 #include "sim/trace.h"
 
 int main(int argc, char** argv) {
   namespace sm = actcomp::sim;
+  namespace obs = actcomp::obs;
+  obs::RunReport report("trace_export");
   const std::string dir = argc > 1 ? argv[1] : ".";
 
   sm::PipelineCosts costs;
@@ -49,6 +54,22 @@ int main(int argc, char** argv) {
     std::printf("%-28s makespan %7.1f ms  peak stash (stage 0): %d\n",
                 v.file, trace.result.makespan_ms,
                 trace.peak_live_activations(0));
+    obs::json::Value rec = obs::json::Value::object();
+    rec.set("file", v.file);
+    rec.set("makespan_ms", trace.result.makespan_ms);
+    rec.set("peak_stash_stage0", trace.peak_live_activations(0));
+    report.add_record(std::move(rec));
+  }
+  // The same viewer also reads the host-side profiler (obs/profiler.h):
+  // with ACTCOMP_PROF=1, this process's own zones land next to the
+  // simulated schedules.
+  if (obs::profiler_enabled()) {
+    const std::string path = dir + "/trace_profiler.json";
+    std::ofstream out(path);
+    if (out) {
+      obs::to_chrome_trace(out);
+      std::printf("%-28s (host-side profiler zones)\n", "trace_profiler.json");
+    }
   }
   std::printf("\nLoad the .json files at https://ui.perfetto.dev\n");
   return 0;

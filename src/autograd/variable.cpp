@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/profiler.h"
 #include "tensor/check.h"
 #include "tensor/ops.h"
 
@@ -109,6 +110,7 @@ void Variable::backward() const {
 }
 
 void Variable::backward(const tensor::Tensor& seed) const {
+  ACTCOMP_PROFILE("autograd.backward");
   ACTCOMP_CHECK(defined(), "backward() on undefined Variable");
   ACTCOMP_CHECK(node_->requires_grad,
                 "backward() from a node that does not require grad");

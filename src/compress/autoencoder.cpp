@@ -38,7 +38,7 @@ tensor::Shape code_shape(const tensor::Shape& in, int64_t code) {
 }
 }  // namespace
 
-CompressedMessage AutoencoderCompressor::encode(const tensor::Tensor& x) {
+CompressedMessage AutoencoderCompressor::do_encode(const tensor::Tensor& x) {
   ACTCOMP_CHECK(x.dim(-1) == hidden_,
                 "autoencoder expects last dim " << hidden_ << ", got "
                                                 << x.shape().str());
@@ -52,7 +52,7 @@ CompressedMessage AutoencoderCompressor::encode(const tensor::Tensor& x) {
   return msg;
 }
 
-tensor::Tensor AutoencoderCompressor::decode(const CompressedMessage& msg) const {
+tensor::Tensor AutoencoderCompressor::do_decode(const CompressedMessage& msg) const {
   tensor::Shape shape{msg.shape_dims};
   const int64_t rows = shape.numel() / hidden_;
   size_t off = 0;

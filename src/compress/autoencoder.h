@@ -22,8 +22,8 @@ class AutoencoderCompressor final : public Compressor {
   AutoencoderCompressor(int64_t hidden, int64_t code, tensor::Generator& gen);
 
   std::string name() const override;
-  CompressedMessage encode(const tensor::Tensor& x) override;
-  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  CompressedMessage do_encode(const tensor::Tensor& x) override;
+  tensor::Tensor do_decode(const CompressedMessage& msg) const override;
   tensor::Tensor round_trip(const tensor::Tensor& x) override;
   autograd::Variable apply(const autograd::Variable& x) override;
   WireFormat wire_size(const tensor::Shape& shape) const override;

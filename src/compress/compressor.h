@@ -52,11 +52,16 @@ class Compressor {
   virtual std::string name() const = 0;
 
   /// Serialize `x` into a wire message. Non-const: Random-K consumes RNG
-  /// state, error-feedback compressors update their residual.
-  virtual CompressedMessage encode(const tensor::Tensor& x) = 0;
+  /// state, error-feedback compressors update their residual. Non-virtual:
+  /// this is the observability choke point — it opens the compress.encode
+  /// profiler zone, bumps the bytes-on-wire counters, and dispatches to the
+  /// subclass's do_encode(). Wrapping compressors (error feedback, hybrid)
+  /// that call an inner compressor's encode() simply nest one zone deeper.
+  CompressedMessage encode(const tensor::Tensor& x);
 
-  /// Reconstruct the (lossy) tensor a receiver would see.
-  virtual tensor::Tensor decode(const CompressedMessage& msg) const = 0;
+  /// Reconstruct the (lossy) tensor a receiver would see. Instrumented
+  /// wrapper over do_decode(), like encode().
+  tensor::Tensor decode(const CompressedMessage& msg) const;
 
   /// decode(encode(x)) without paying for serialization; default does exactly
   /// that, subclasses override with a fused path.
@@ -80,6 +85,11 @@ class Compressor {
   virtual std::vector<autograd::Variable> parameters() { return {}; }
 
  protected:
+  /// Algorithm-specific serialization; called only through encode()/decode()
+  /// so byte accounting can never be bypassed.
+  virtual CompressedMessage do_encode(const tensor::Tensor& x) = 0;
+  virtual tensor::Tensor do_decode(const CompressedMessage& msg) const = 0;
+
   /// Gradient of round_trip w.r.t. its input, given upstream grad. Default:
   /// straight-through (identity). Sparsifiers override with their mask.
   virtual tensor::Tensor vjp(const tensor::Tensor& grad_out,

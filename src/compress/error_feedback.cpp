@@ -31,14 +31,14 @@ void ErrorFeedbackCompressor::update_residual(const tensor::Tensor& shifted_in,
   has_residual_ = true;
 }
 
-CompressedMessage ErrorFeedbackCompressor::encode(const tensor::Tensor& x) {
+CompressedMessage ErrorFeedbackCompressor::do_encode(const tensor::Tensor& x) {
   const tensor::Tensor s = shifted(x);
   CompressedMessage msg = inner_->encode(s);
   update_residual(s, inner_->decode(msg));
   return msg;
 }
 
-tensor::Tensor ErrorFeedbackCompressor::decode(const CompressedMessage& msg) const {
+tensor::Tensor ErrorFeedbackCompressor::do_decode(const CompressedMessage& msg) const {
   return inner_->decode(msg);
 }
 

@@ -28,7 +28,7 @@ ts::Shape HybridAeQuantCompressor::code_shape(const ts::Shape& in) const {
   return ts::Shape{in.numel() / ae_.hidden(), ae_.code()};
 }
 
-CompressedMessage HybridAeQuantCompressor::encode(const ts::Tensor& x) {
+CompressedMessage HybridAeQuantCompressor::do_encode(const ts::Tensor& x) {
   const int64_t rows = x.numel() / ae_.hidden();
   const ts::Tensor code = ts::matmul2d(
       x.reshape(ts::Shape{rows, ae_.hidden()}), ae_.encoder_weight().value());
@@ -39,7 +39,7 @@ CompressedMessage HybridAeQuantCompressor::encode(const ts::Tensor& x) {
   return msg;
 }
 
-ts::Tensor HybridAeQuantCompressor::decode(const CompressedMessage& msg) const {
+ts::Tensor HybridAeQuantCompressor::do_decode(const CompressedMessage& msg) const {
   ts::Shape shape{msg.shape_dims};
   CompressedMessage inner;
   inner.shape_dims = code_shape(shape).dims();

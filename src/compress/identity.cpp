@@ -5,7 +5,7 @@
 
 namespace actcomp::compress {
 
-CompressedMessage IdentityCompressor::encode(const tensor::Tensor& x) {
+CompressedMessage IdentityCompressor::do_encode(const tensor::Tensor& x) {
   CompressedMessage msg;
   msg.shape_dims = x.shape().dims();
   msg.body.reserve(static_cast<size_t>(x.numel()) * 2);
@@ -13,7 +13,7 @@ CompressedMessage IdentityCompressor::encode(const tensor::Tensor& x) {
   return msg;
 }
 
-tensor::Tensor IdentityCompressor::decode(const CompressedMessage& msg) const {
+tensor::Tensor IdentityCompressor::do_decode(const CompressedMessage& msg) const {
   tensor::Shape shape{msg.shape_dims};
   size_t off = 0;
   std::vector<float> vals = wire::read_fp16(msg.body, off, shape.numel());

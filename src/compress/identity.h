@@ -11,8 +11,8 @@ namespace actcomp::compress {
 class IdentityCompressor final : public Compressor {
  public:
   std::string name() const override { return "identity"; }
-  CompressedMessage encode(const tensor::Tensor& x) override;
-  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  CompressedMessage do_encode(const tensor::Tensor& x) override;
+  tensor::Tensor do_decode(const CompressedMessage& msg) const override;
   tensor::Tensor round_trip(const tensor::Tensor& x) override;
   autograd::Variable apply(const autograd::Variable& x) override { return x; }
   WireFormat wire_size(const tensor::Shape& shape) const override;

@@ -96,7 +96,7 @@ LowRankCompressor::Factors LowRankCompressor::factorize(const ts::Tensor& x2d) {
   return {std::move(p), std::move(q)};
 }
 
-CompressedMessage LowRankCompressor::encode(const ts::Tensor& x) {
+CompressedMessage LowRankCompressor::do_encode(const ts::Tensor& x) {
   const ts::Tensor x2d = as_matrix(x);
   const Factors f = factorize(x2d);
   CompressedMessage msg;
@@ -108,7 +108,7 @@ CompressedMessage LowRankCompressor::encode(const ts::Tensor& x) {
   return msg;
 }
 
-ts::Tensor LowRankCompressor::decode(const CompressedMessage& msg) const {
+ts::Tensor LowRankCompressor::do_decode(const CompressedMessage& msg) const {
   ts::Shape shape{msg.shape_dims};
   const int64_t cols = shape.dim(-1);
   const int64_t rows = shape.numel() / cols;

@@ -28,8 +28,8 @@ class LowRankCompressor final : public Compressor {
   LowRankCompressor(int64_t rank, uint64_t seed, int power_iterations = 1);
 
   std::string name() const override;
-  CompressedMessage encode(const tensor::Tensor& x) override;
-  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  CompressedMessage do_encode(const tensor::Tensor& x) override;
+  tensor::Tensor do_decode(const CompressedMessage& msg) const override;
   tensor::Tensor round_trip(const tensor::Tensor& x) override;
   WireFormat wire_size(const tensor::Shape& shape) const override;
   /// P/Q factors of different ranks cannot be summed elementwise.

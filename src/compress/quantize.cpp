@@ -54,7 +54,7 @@ QuantizeCompressor::RowParams QuantizeCompressor::row_params(const float* row,
   return {lo, scale};
 }
 
-CompressedMessage QuantizeCompressor::encode(const tensor::Tensor& x) {
+CompressedMessage QuantizeCompressor::do_encode(const tensor::Tensor& x) {
   const auto [rows, cols] = rows_cols(x.shape());
   CompressedMessage msg;
   msg.shape_dims = x.shape().dims();
@@ -138,7 +138,7 @@ CompressedMessage QuantizeCompressor::encode(const tensor::Tensor& x) {
   return msg;
 }
 
-tensor::Tensor QuantizeCompressor::decode(const CompressedMessage& msg) const {
+tensor::Tensor QuantizeCompressor::do_decode(const CompressedMessage& msg) const {
   tensor::Shape shape{msg.shape_dims};
   const auto [rows, cols] = rows_cols(shape);
   tensor::Tensor out{shape};

@@ -38,7 +38,7 @@ int64_t RandomKCompressor::k_for(int64_t numel) const {
   return std::clamp<int64_t>(k, 1, numel);
 }
 
-CompressedMessage RandomKCompressor::encode(const tensor::Tensor& x) {
+CompressedMessage RandomKCompressor::do_encode(const tensor::Tensor& x) {
   const int64_t n = x.numel();
   std::vector<int64_t> kept = gen_.sample_without_replacement(n, k_for(n));
   std::sort(kept.begin(), kept.end());
@@ -61,7 +61,7 @@ CompressedMessage RandomKCompressor::encode(const tensor::Tensor& x) {
   return msg;
 }
 
-tensor::Tensor RandomKCompressor::decode(const CompressedMessage& msg) const {
+tensor::Tensor RandomKCompressor::do_decode(const CompressedMessage& msg) const {
   tensor::Shape shape{msg.shape_dims};
   const int64_t k = k_for(shape.numel());
   ACTCOMP_CHECK(static_cast<size_t>(k) * 6 <= msg.body.size(),

@@ -20,8 +20,8 @@ class RandomKCompressor final : public Compressor {
   RandomKCompressor(double fraction, uint64_t seed);
 
   std::string name() const override;
-  CompressedMessage encode(const tensor::Tensor& x) override;
-  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  CompressedMessage do_encode(const tensor::Tensor& x) override;
+  tensor::Tensor do_decode(const CompressedMessage& msg) const override;
   autograd::Variable apply(const autograd::Variable& x) override;
   WireFormat wire_size(const tensor::Shape& shape) const override;
   bool allreduce_compatible() const override { return false; }

@@ -101,7 +101,7 @@ std::vector<int64_t> TopKCompressor::select(const tensor::Tensor& x) const {
   return cand;
 }
 
-CompressedMessage TopKCompressor::encode(const tensor::Tensor& x) {
+CompressedMessage TopKCompressor::do_encode(const tensor::Tensor& x) {
   const std::vector<int64_t> kept = select(x);
   const int64_t k = static_cast<int64_t>(kept.size());
   CompressedMessage msg;
@@ -122,7 +122,7 @@ CompressedMessage TopKCompressor::encode(const tensor::Tensor& x) {
   return msg;
 }
 
-tensor::Tensor TopKCompressor::decode(const CompressedMessage& msg) const {
+tensor::Tensor TopKCompressor::do_decode(const CompressedMessage& msg) const {
   tensor::Shape shape{msg.shape_dims};
   const int64_t k = k_for(shape.numel());
   ACTCOMP_CHECK(static_cast<size_t>(k) * 6 <= msg.body.size(),

@@ -18,8 +18,8 @@ class TopKCompressor final : public Compressor {
   explicit TopKCompressor(double fraction);
 
   std::string name() const override;
-  CompressedMessage encode(const tensor::Tensor& x) override;
-  tensor::Tensor decode(const CompressedMessage& msg) const override;
+  CompressedMessage do_encode(const tensor::Tensor& x) override;
+  tensor::Tensor do_decode(const CompressedMessage& msg) const override;
   tensor::Tensor round_trip(const tensor::Tensor& x) override;
   WireFormat wire_size(const tensor::Shape& shape) const override;
   bool allreduce_compatible() const override { return false; }

@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profiler.h"
+#include "obs/registry.h"
+
 namespace actcomp::core {
 
 namespace {
@@ -36,6 +39,10 @@ struct Job {
   int64_t grain = 1;
   int64_t nchunks = 0;
   const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  /// Submitter's profiler zone: workers adopt it while running this job's
+  /// chunks, so zones opened inside chunk bodies nest under the call site
+  /// regardless of which thread executes them (obs/profiler.h).
+  uint32_t profile_ctx = 0;
 
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> done{0};
@@ -48,6 +55,7 @@ struct Job {
   // Claim and run chunks until none are left. Returns when this thread can
   // take no more work (other threads may still be running their chunk).
   void work() {
+    obs::ZoneContext prof_ctx(profile_ctx);
     for (;;) {
       const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= nchunks) return;
@@ -113,6 +121,7 @@ class ThreadPool {
   void start(int lanes) {
     lanes_ = lanes;
     stopping_ = false;
+    obs::Registry::instance().gauge("core.pool.lanes").set(lanes);
     for (int i = 0; i < lanes - 1; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
     }
@@ -175,10 +184,18 @@ void parallel_chunks(int64_t begin, int64_t end, int64_t grain,
   const int64_t n = end - begin;
   const int64_t nchunks = (n + grain - 1) / grain;
 
+  // Opened on BOTH the inline and the pooled path, so the zone tree is a
+  // pure function of the call pattern — a 4-lane and a 1-lane run aggregate
+  // to identical snapshots (same paths, same counts), which obs_test pins.
+  ACTCOMP_PROFILE("core.parallel_for");
+
   ThreadPool& pool = ThreadPool::instance();
   if (t_in_worker || pool.lanes() == 1 || nchunks == 1) {
     // Inline path: identical chunk boundaries, sequential execution. Nested
     // calls land here, so nesting can neither deadlock nor oversubscribe.
+    static obs::Counter& inline_runs =
+        obs::Registry::instance().counter("core.pool.inline_runs");
+    inline_runs.add();
     for (int64_t c = 0; c < nchunks; ++c) {
       const int64_t b = begin + c * grain;
       fn(b, std::min(end, b + grain));
@@ -186,12 +203,23 @@ void parallel_chunks(int64_t begin, int64_t end, int64_t grain,
     return;
   }
 
+  static obs::Counter& pooled_jobs =
+      obs::Registry::instance().counter("core.pool.jobs");
+  static obs::Counter& pooled_chunks =
+      obs::Registry::instance().counter("core.pool.chunks");
+  static obs::Histogram& job_chunks =
+      obs::Registry::instance().histogram("core.pool.chunks_per_job");
+  pooled_jobs.add();
+  pooled_chunks.add(nchunks);
+  job_chunks.observe(static_cast<double>(nchunks));
+
   auto job = std::make_shared<Job>();
   job->begin = begin;
   job->end = end;
   job->grain = grain;
   job->nchunks = nchunks;
   job->fn = &fn;
+  job->profile_ctx = obs::current_zone_id();
   pool.submit_and_wait(job);
 }
 

@@ -1,0 +1,30 @@
+#include "obs/accounting.h"
+
+namespace actcomp::obs {
+
+const std::vector<std::string>& breakdown_header() {
+  static const std::vector<std::string> header{
+      "Algorithm", "Forward",  "Backward", "Optim", "Wait&Pipe",
+      "Total",     "Enc",      "Dec",      "TensorComm"};
+  return header;
+}
+
+std::vector<double> breakdown_columns(const PhaseBreakdown& b) {
+  return {b.forward_ms, b.backward_ms, b.optimizer_ms, b.waiting_ms,
+          b.total_ms,   b.encode_ms,   b.decode_ms,    b.tensor_comm_ms};
+}
+
+json::Value to_json(const PhaseBreakdown& b) {
+  json::Value v = json::Value::object();
+  v.set("forward_ms", b.forward_ms);
+  v.set("backward_ms", b.backward_ms);
+  v.set("optimizer_ms", b.optimizer_ms);
+  v.set("waiting_ms", b.waiting_ms);
+  v.set("total_ms", b.total_ms);
+  v.set("encode_ms", b.encode_ms);
+  v.set("decode_ms", b.decode_ms);
+  v.set("tensor_comm_ms", b.tensor_comm_ms);
+  return v;
+}
+
+}  // namespace actcomp::obs

@@ -1,0 +1,49 @@
+// The paper's per-phase time accounting (Tables 4 and 7), as one canonical
+// struct + column order instead of per-bench arithmetic.
+//
+// The two breakdown tables share the same eight columns but differ in what
+// "Forward/Backward" mean: fine-tuning (Table 4) reports one micro-batch's
+// traversal of the whole pipeline, pre-training (Table 7) reports the
+// busiest rank's totals across all micro-batches — Accounting names that
+// choice. parallel::IterationBreakdown::phase_breakdown() is the only
+// conversion, so the tables, the RunReports, and the golden tests all read
+// the same numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace actcomp::obs {
+
+/// Which Forward/Backward/Waiting convention a breakdown uses.
+enum class Accounting {
+  kFinetune,  ///< Table 4: per-micro-batch critical path
+  kPretrain,  ///< Table 7: busiest rank's totals
+};
+
+/// One row of the paper's breakdown tables, in ms.
+struct PhaseBreakdown {
+  double forward_ms = 0.0;
+  double backward_ms = 0.0;
+  double optimizer_ms = 0.0;
+  double waiting_ms = 0.0;  ///< "Waiting & Pipeline Comm."
+  double total_ms = 0.0;
+  double encode_ms = 0.0;
+  double decode_ms = 0.0;
+  double tensor_comm_ms = 0.0;
+};
+
+/// The column headers of Tables 4/7, first column ("Algorithm") included,
+/// in the order benches print and reports serialize.
+const std::vector<std::string>& breakdown_header();
+
+/// The numeric columns of one row, in breakdown_header() order (without the
+/// label column).
+std::vector<double> breakdown_columns(const PhaseBreakdown& b);
+
+/// {"forward_ms": ..., ..., "tensor_comm_ms": ...} for RunReport phases.
+json::Value to_json(const PhaseBreakdown& b);
+
+}  // namespace actcomp::obs

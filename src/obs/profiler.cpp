@@ -1,0 +1,340 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+namespace actcomp::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("ACTCOMP_PROF");
+  return env != nullptr && *env != '\0' && *env != '0';
+}()};
+}  // namespace detail
+
+namespace {
+
+constexpr size_t kMaxEventsPerThread = 1u << 20;
+
+struct ZoneEvent {
+  uint32_t node = 0;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+};
+
+/// Per-node accumulation cell (indexed by node id).
+struct Cell {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t child_ns = 0;  ///< direct children's total, for self-time
+};
+
+struct ThreadState {
+  std::mutex mu;  ///< guards stats/events against snapshot/reset readers
+  uint32_t tid = 0;
+  std::vector<Cell> stats;
+  std::vector<ZoneEvent> events;
+  int64_t dropped = 0;
+};
+
+struct Node {
+  uint32_t parent = 0;
+  std::string name;
+};
+
+// All shared profiler state. Leaked on purpose (function-local `new`) so
+// thread-local destructors running at process exit never race static
+// destruction.
+struct Globals {
+  std::mutex node_mu;
+  std::vector<Node> nodes{Node{}};  // id 0 = root
+  std::map<std::pair<uint32_t, std::string>, uint32_t> node_ids;
+
+  std::mutex states_mu;
+  std::vector<ThreadState*> states;  // live threads
+  std::vector<Cell> retired;         // merged stats of exited threads
+  std::vector<ZoneEvent> retired_events;
+  int64_t retired_dropped = 0;
+  uint32_t next_tid = 0;
+
+  int64_t t0_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+};
+
+Globals& G() {
+  static Globals* g = new Globals;
+  return *g;
+}
+
+void merge_cells(std::vector<Cell>& into, const std::vector<Cell>& from) {
+  if (into.size() < from.size()) into.resize(from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    into[i].count += from[i].count;
+    into[i].total_ns += from[i].total_ns;
+    into[i].child_ns += from[i].child_ns;
+  }
+}
+
+/// Owns the calling thread's state; on thread exit, folds it into the
+/// retired accumulator so no samples are lost.
+struct ThreadStateHolder {
+  ThreadState* state = nullptr;
+
+  ThreadState& get() {
+    if (state == nullptr) {
+      state = new ThreadState;
+      Globals& g = G();
+      std::lock_guard<std::mutex> lock(g.states_mu);
+      state->tid = g.next_tid++;
+      g.states.push_back(state);
+    }
+    return *state;
+  }
+
+  ~ThreadStateHolder() {
+    if (state == nullptr) return;
+    Globals& g = G();
+    std::lock_guard<std::mutex> lock(g.states_mu);
+    merge_cells(g.retired, state->stats);
+    g.retired_events.insert(g.retired_events.end(), state->events.begin(),
+                            state->events.end());
+    g.retired_dropped += state->dropped;
+    std::erase(g.states, state);
+    delete state;
+  }
+};
+
+thread_local ThreadStateHolder t_holder;
+thread_local uint32_t t_current_zone = 0;
+// (parent, name pointer) -> node id. Name pointers are per-TU literals, so
+// the cache key is exact; the global table dedupes by string content.
+thread_local std::unordered_map<uint64_t, uint32_t> t_zone_cache;
+
+uint64_t cache_key(uint32_t parent, const char* name) {
+  return (static_cast<uint64_t>(parent) << 48) ^
+         (reinterpret_cast<uintptr_t>(name) & 0xffffffffffffull);
+}
+
+}  // namespace
+
+bool profiler_enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_profiler_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+uint32_t current_zone() { return t_current_zone; }
+
+void set_current_zone(uint32_t id) { t_current_zone = id; }
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         G().t0_ns;
+}
+
+uint32_t intern_zone(uint32_t parent, const char* name) {
+  const uint64_t key = cache_key(parent, name);
+  auto it = t_zone_cache.find(key);
+  if (it != t_zone_cache.end()) return it->second;
+
+  Globals& g = G();
+  uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(g.node_mu);
+    auto [slot, inserted] =
+        g.node_ids.try_emplace({parent, std::string(name)}, 0);
+    if (inserted) {
+      slot->second = static_cast<uint32_t>(g.nodes.size());
+      g.nodes.push_back(Node{parent, std::string(name)});
+    }
+    id = slot->second;
+  }
+  t_zone_cache.emplace(key, id);
+  return id;
+}
+
+void record_zone(uint32_t id, uint32_t parent, int64_t start_ns,
+                 int64_t end_ns) {
+  ThreadState& st = t_holder.get();
+  std::lock_guard<std::mutex> lock(st.mu);
+  const size_t need = static_cast<size_t>(std::max(id, parent)) + 1;
+  if (st.stats.size() < need) st.stats.resize(need);
+  st.stats[id].count += 1;
+  st.stats[id].total_ns += end_ns - start_ns;
+  st.stats[parent].child_ns += end_ns - start_ns;
+  if (st.events.size() < kMaxEventsPerThread) {
+    st.events.push_back({id, start_ns, end_ns});
+  } else {
+    ++st.dropped;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Merged per-node cells from every live and retired thread.
+std::vector<Cell> merged_stats() {
+  Globals& g = G();
+  std::vector<Cell> merged;
+  std::lock_guard<std::mutex> lock(g.states_mu);
+  merged = g.retired;
+  for (ThreadState* st : g.states) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    merge_cells(merged, st->stats);
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<ZoneStats> snapshot_zones() {
+  Globals& g = G();
+  const std::vector<Cell> cells = merged_stats();
+
+  std::lock_guard<std::mutex> lock(g.node_mu);
+  const size_t n = g.nodes.size();
+  std::vector<std::vector<uint32_t>> children(n);
+  for (uint32_t id = 1; id < n; ++id) {
+    children[g.nodes[id].parent].push_back(id);
+  }
+  for (auto& c : children) {
+    std::sort(c.begin(), c.end(), [&](uint32_t a, uint32_t b) {
+      return g.nodes[a].name < g.nodes[b].name;
+    });
+  }
+  // A node appears if it (or any descendant) recorded samples — a parent
+  // zone still open during the snapshot keeps its finished children visible.
+  std::vector<char> live(n, 0);
+  for (uint32_t id = static_cast<uint32_t>(n); id-- > 1;) {
+    if (id < cells.size() && cells[id].count > 0) live[id] = 1;
+    for (uint32_t c : children[id]) live[id] |= live[c];
+  }
+
+  std::vector<ZoneStats> out;
+  // Iterative DFS; a stack entry is (node, depth, path prefix length).
+  struct Frame {
+    uint32_t id;
+    int depth;
+    std::string path;
+  };
+  std::vector<Frame> stack;
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it) {
+    stack.push_back({*it, 0, g.nodes[*it].name});
+  }
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (!live[f.id]) continue;
+    const Cell cell = f.id < cells.size() ? cells[f.id] : Cell{};
+    ZoneStats zs;
+    zs.path = f.path;
+    zs.name = g.nodes[f.id].name;
+    zs.depth = f.depth;
+    zs.count = cell.count;
+    zs.total_ms = static_cast<double>(cell.total_ns) * 1e-6;
+    zs.self_ms =
+        static_cast<double>(cell.total_ns - cell.child_ns) * 1e-6;
+    out.push_back(std::move(zs));
+    for (auto it = children[f.id].rbegin(); it != children[f.id].rend(); ++it) {
+      stack.push_back({*it, f.depth + 1, f.path + "/" + g.nodes[*it].name});
+    }
+  }
+  return out;
+}
+
+void reset_zones() {
+  Globals& g = G();
+  std::lock_guard<std::mutex> lock(g.states_mu);
+  for (ThreadState* st : g.states) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    st->stats.assign(st->stats.size(), Cell{});
+    st->events.clear();
+    st->dropped = 0;
+  }
+  g.retired.clear();
+  g.retired_events.clear();
+  g.retired_dropped = 0;
+}
+
+int64_t dropped_zone_events() {
+  Globals& g = G();
+  std::lock_guard<std::mutex> lock(g.states_mu);
+  int64_t dropped = g.retired_dropped;
+  for (ThreadState* st : g.states) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    dropped += st->dropped;
+  }
+  return dropped;
+}
+
+void to_chrome_trace(std::ostream& os) {
+  Globals& g = G();
+  // Copy events out under the locks, then serialize without holding them.
+  struct TidEvents {
+    uint32_t tid;
+    std::vector<ZoneEvent> events;
+  };
+  std::vector<TidEvents> all;
+  {
+    std::lock_guard<std::mutex> lock(g.states_mu);
+    if (!g.retired_events.empty()) {
+      // Retired threads' tids are no longer meaningful; group them on one row.
+      all.push_back({~0u, g.retired_events});
+    }
+    for (ThreadState* st : g.states) {
+      std::lock_guard<std::mutex> slock(st->mu);
+      if (!st->events.empty()) all.push_back({st->tid, st->events});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TidEvents& a, const TidEvents& b) { return a.tid < b.tid; });
+
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(g.node_mu);
+    names.reserve(g.nodes.size());
+    for (const Node& nd : g.nodes) names.push_back(nd.name);
+  }
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const TidEvents& te : all) {
+    const uint32_t tid = te.tid == ~0u ? 9999 : te.tid;
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\""
+       << (te.tid == ~0u ? std::string("obs retired")
+                         : "obs thread " + std::to_string(tid))
+       << "\"}}";
+    for (const ZoneEvent& ev : te.events) {
+      sep();
+      os << "{\"name\":\"" << (ev.node < names.size() ? names[ev.node] : "?")
+         << "\",\"cat\":\"obs\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+         << ",\"ts\":" << static_cast<double>(ev.start_ns) * 1e-3
+         << ",\"dur\":" << static_cast<double>(ev.end_ns - ev.start_ns) * 1e-3
+         << '}';
+    }
+  }
+  os << "]}";
+}
+
+}  // namespace actcomp::obs

@@ -1,8 +1,11 @@
 #include "parallel/mp_simulator.h"
 
 #include <algorithm>
+#include <string>
 
 #include "compress/compressor.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
 #include "sim/collectives.h"
 #include "tensor/check.h"
 
@@ -59,6 +62,21 @@ int64_t backward_wire_bytes(cp::Setting s, int64_t numel, int64_t hidden) {
 }
 
 }  // namespace
+
+obs::PhaseBreakdown IterationBreakdown::phase_breakdown(
+    obs::Accounting accounting) const {
+  const bool ft = accounting == obs::Accounting::kFinetune;
+  obs::PhaseBreakdown b;
+  b.forward_ms = ft ? fwd_critical_ms : fwd_busy_max_ms;
+  b.backward_ms = ft ? bwd_critical_ms : bwd_busy_max_ms;
+  b.optimizer_ms = optimizer_ms;
+  b.waiting_ms = ft ? waiting_finetune_ms() : waiting_pretrain_ms();
+  b.total_ms = total_ms();
+  b.encode_ms = enc_ms;
+  b.decode_ms = dec_ms;
+  b.tensor_comm_ms = tensor_comm_ms;
+  return b;
+}
 
 ModelParallelSimulator::ModelParallelSimulator(sim::ClusterSpec cluster,
                                                nn::BertConfig model,
@@ -135,6 +153,7 @@ int64_t ModelParallelSimulator::parameter_count(const nn::BertConfig& cfg) {
 
 IterationBreakdown ModelParallelSimulator::run(
     const core::CompressionPlan& plan) const {
+  ACTCOMP_PROFILE("parallel.mp_sim.run");
   const int tp = parallel_.tp;
   const int pp = parallel_.pp;
   const int64_t h = model_.hidden;
@@ -162,6 +181,10 @@ IterationBreakdown ModelParallelSimulator::run(
   std::vector<double> stage_enc(static_cast<size_t>(pp), 0.0);
   std::vector<double> stage_dec(static_cast<size_t>(pp), 0.0);
   std::vector<double> stage_tp_comm(static_cast<size_t>(pp), 0.0);
+  // Per-micro-batch bytes crossing each pipeline boundary (summed over
+  // chunks under interleaving); flushed into per-link counters at the end.
+  std::vector<int64_t> link_fwd_bytes(static_cast<size_t>(pp > 0 ? pp - 1 : 0), 0);
+  std::vector<int64_t> link_bwd_bytes(link_fwd_bytes.size(), 0);
 
   const sim::LinkSpec& tpl = tp_link();
   const cp::Setting setting = plan.setting;
@@ -245,6 +268,8 @@ IterationBreakdown ModelParallelSimulator::run(
           comp ? backward_wire_bytes(setting, msg_numel, h) : msg_numel * 2;
       costs.p2p_fwd_ms[static_cast<size_t>(bd)] = p2p_cost(fwd_bytes, bd);
       costs.p2p_bwd_ms[static_cast<size_t>(bd)] = p2p_cost(bwd_bytes, bd);
+      link_fwd_bytes[static_cast<size_t>(bd)] = fwd_bytes;
+      link_bwd_bytes[static_cast<size_t>(bd)] = bwd_bytes;
 
       if (comp) {
         // Sender encodes at the end of its forward; receiver decodes at the
@@ -292,6 +317,8 @@ IterationBreakdown ModelParallelSimulator::run(
           p2p_cost(static_cast<int64_t>(fwd_sum / v), bd);
       costs.p2p_bwd_ms[static_cast<size_t>(bd)] =
           p2p_cost(static_cast<int64_t>(bwd_sum / v), bd);
+      link_fwd_bytes[static_cast<size_t>(bd)] = static_cast<int64_t>(fwd_sum);
+      link_bwd_bytes[static_cast<size_t>(bd)] = static_cast<int64_t>(bwd_sum);
     }
     // Wrap link (stage pp-1 -> stage 0), crossed between chunks c and c+1.
     const bool wrap_cross =
@@ -355,6 +382,14 @@ IterationBreakdown ModelParallelSimulator::run(
   for (int bd = 0; bd + 1 < pp; ++bd) {
     out.boundary_fwd_ms.push_back(m * costs.p2p_fwd_ms[static_cast<size_t>(bd)]);
     out.boundary_bwd_ms.push_back(m * costs.p2p_bwd_ms[static_cast<size_t>(bd)]);
+  }
+  // Bytes-on-wire per link, per iteration simulated. Cumulative across run()
+  // calls, so a sweep's report shows the traffic of the whole sweep.
+  obs::Registry& reg = obs::Registry::instance();
+  for (size_t bd = 0; bd < link_fwd_bytes.size(); ++bd) {
+    const std::string base = "parallel.link.b" + std::to_string(bd);
+    reg.counter(base + ".fwd_bytes").add(job_.num_micro * link_fwd_bytes[bd]);
+    reg.counter(base + ".bwd_bytes").add(job_.num_micro * link_bwd_bytes[bd]);
   }
   return out;
 }

@@ -17,6 +17,7 @@
 
 #include "core/compression_plan.h"
 #include "nn/bert.h"
+#include "obs/accounting.h"
 #include "sim/hardware.h"
 #include "sim/overhead.h"
 #include "sim/pipeline.h"
@@ -104,6 +105,11 @@ struct IterationBreakdown {
   double waiting_pretrain_ms() const {
     return std::max(0.0, makespan_ms - fwd_busy_max_ms - bwd_busy_max_ms);
   }
+
+  /// Project onto the paper's Table 4/7 columns. This is the ONLY place the
+  /// finetune-vs-pretrain column choice is made; benches and RunReports both
+  /// go through it (obs/accounting.h).
+  obs::PhaseBreakdown phase_breakdown(obs::Accounting accounting) const;
 };
 
 class ModelParallelSimulator {

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/profiler.h"
+#include "obs/registry.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 #include "tensor/check.h"
@@ -320,7 +322,17 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
     }
   }
 
-  const std::vector<OpTiming> times = eng.run();
+  std::vector<OpTiming> times;
+  {
+    ACTCOMP_PROFILE("sim.engine.run");
+    times = eng.run();
+  }
+  if (fault_retries > 0) {
+    obs::Registry& reg = obs::Registry::instance();
+    reg.counter("sim.fault.retries").add(fault_retries);
+    reg.histogram("sim.fault.retry_ms").observe(fault_retry_ms);
+    reg.histogram("sim.fault.backoff_ms").observe(fault_backoff_ms);
+  }
 
   PipelineTrace trace;
   // Compute ops: iterate in id (creation) order so per-stage busy sums add

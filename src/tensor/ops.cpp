@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/threadpool.h"
+#include "obs/profiler.h"
 #include "tensor/check.h"
 
 namespace actcomp::tensor {
@@ -360,6 +361,7 @@ Tensor matmul2d(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
   ACTCOMP_CHECK(k == k2, "matmul2d inner dims differ: " << a.shape().str() << " x "
                                                         << b.shape().str());
+  ACTCOMP_PROFILE("tensor.matmul2d");
   Tensor out(Shape{m, n});
   gemm_into(a.data().data(), b.data().data(), out.data().data(), m, k, n);
   return out;
@@ -379,6 +381,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     ACTCOMP_CHECK(a.dim(2) == b.dim(1), "batched matmul inner dims differ: "
                                             << a.shape().str() << " x "
                                             << b.shape().str());
+    ACTCOMP_PROFILE("tensor.matmul_batched");
     const int64_t B = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
     Tensor out(Shape{B, m, n});
     const float* pa = a.data().data();
@@ -533,6 +536,7 @@ Tensor argmax_last(const Tensor& a) {
 }
 
 Tensor softmax_last(const Tensor& a) {
+  ACTCOMP_PROFILE("tensor.softmax");
   const auto [rows, cols] = rows_cols(a);
   Tensor out(a.shape());
   const auto din = a.data();

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "autograd/functions.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
 #include "tensor/check.h"
 #include "tensor/ops.h"
 
@@ -113,25 +115,34 @@ FinetuneResult finetune(nn::BertModel& model, const data::TaskDataset& train,
   int64_t step = 0;
   for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     for (const auto& batch : train.epoch_batches(cfg.batch_size, &gen)) {
+      ACTCOMP_PROFILE("train.step");
       opt.set_lr(schedule.lr_at(step));
       opt.zero_grad();
-      ag::Variable seq = model.forward(batch.input, gen, /*training=*/true);
       ag::Variable loss;
-      if (regression) {
-        ag::Variable y = reg_head->forward(seq);
-        loss = ag::mse_loss(
-            y, ts::Tensor(ts::Shape{static_cast<int64_t>(batch.value_labels.size())},
-                          std::vector<float>(batch.value_labels.begin(),
-                                             batch.value_labels.end())));
-      } else {
-        ag::Variable logits = cls_head->forward(seq);
-        loss = ag::softmax_cross_entropy(logits, batch.class_labels);
+      {
+        ACTCOMP_PROFILE("train.forward");
+        ag::Variable seq = model.forward(batch.input, gen, /*training=*/true);
+        if (regression) {
+          ag::Variable y = reg_head->forward(seq);
+          loss = ag::mse_loss(
+              y,
+              ts::Tensor(ts::Shape{static_cast<int64_t>(batch.value_labels.size())},
+                         std::vector<float>(batch.value_labels.begin(),
+                                            batch.value_labels.end())));
+        } else {
+          ag::Variable logits = cls_head->forward(seq);
+          loss = ag::softmax_cross_entropy(logits, batch.class_labels);
+        }
       }
       loss.backward();
-      opt.clip_grad_norm(cfg.clip_norm);
-      opt.step();
+      {
+        ACTCOMP_PROFILE("train.optimizer");
+        opt.clip_grad_norm(cfg.clip_norm);
+        opt.step();
+      }
       last_loss = loss.value().item();
       ++step;
+      obs::Registry::instance().counter("train.finetune.steps").add();
     }
   }
   result.final_train_loss = last_loss;
@@ -161,16 +172,25 @@ PretrainResult pretrain_mlm(nn::BertModel& model, nn::MlmHead& head,
   double tail_sum = 0.0;
   int64_t tail_count = 0;
   for (int64_t step = 0; step < cfg.steps; ++step) {
+    ACTCOMP_PROFILE("train.step");
     opt.set_lr(schedule.lr_at(step));
     opt.zero_grad();
     const data::MlmBatch batch = corpus.sample_mlm_batch(cfg.batch_size, cfg.seq, gen);
-    ag::Variable seq = model.forward(batch.input, gen, /*training=*/true);
-    ag::Variable logits = head.forward(seq);  // [b*s, V]
-    ag::Variable loss = ag::softmax_cross_entropy_masked(logits, batch.labels,
-                                                         data::MlmBatch::kIgnore);
+    ag::Variable loss;
+    {
+      ACTCOMP_PROFILE("train.forward");
+      ag::Variable seq = model.forward(batch.input, gen, /*training=*/true);
+      ag::Variable logits = head.forward(seq);  // [b*s, V]
+      loss = ag::softmax_cross_entropy_masked(logits, batch.labels,
+                                              data::MlmBatch::kIgnore);
+    }
     loss.backward();
-    opt.clip_grad_norm(cfg.clip_norm);
-    opt.step();
+    {
+      ACTCOMP_PROFILE("train.optimizer");
+      opt.clip_grad_norm(cfg.clip_norm);
+      opt.step();
+    }
+    obs::Registry::instance().counter("train.pretrain.steps").add();
     const double lv = loss.value().item();
     if (step == 0) result.initial_loss = lv;
     if (step >= tail_begin) {

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (./ci.sh docs).
+
+Two guarantees:
+
+1. Every relative markdown link in the repo's *.md files points at a file
+   (or file#anchor) that exists. External http(s)/mailto links are not
+   fetched.
+
+2. EXPERIMENTS.md and bench/CMakeLists.txt agree in both directions: every
+   bench binary declared in CMake has a catalog entry (a heading containing
+   the binary name in backticks), and every catalog entry names a binary
+   that actually builds. A bench added without documentation — or
+   documentation for a bench that was deleted — fails CI.
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "build-prof0"}
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_CODE_RE = re.compile(r"^#{1,6} .*`([A-Za-z0-9_]+)`", re.M)
+CMAKE_BIN_RE = re.compile(r"(?:actcomp_bench|add_executable)\(\s*([A-Za-z0-9_]+)")
+
+
+def md_files():
+    for dirpath, dirnames, filenames in os.walk(ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_links(errors):
+    for path in md_files():
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        rel = os.path.relpath(path, ROOT)
+        in_fence = False
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target_path))
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{rel}:{lineno}: broken link -> {target}")
+
+
+def check_bench_coverage(errors):
+    cmake_path = os.path.join(ROOT, "bench", "CMakeLists.txt")
+    with open(cmake_path, encoding="utf-8") as f:
+        declared = set(CMAKE_BIN_RE.findall(f.read()))
+    experiments_path = os.path.join(ROOT, "EXPERIMENTS.md")
+    with open(experiments_path, encoding="utf-8") as f:
+        documented = set(HEADING_CODE_RE.findall(f.read()))
+
+    for name in sorted(declared - documented):
+        errors.append(
+            f"EXPERIMENTS.md: bench binary `{name}` (bench/CMakeLists.txt) "
+            "has no catalog entry")
+    for name in sorted(documented - declared):
+        errors.append(
+            f"EXPERIMENTS.md: catalog entry `{name}` names no binary in "
+            "bench/CMakeLists.txt")
+
+
+def main():
+    errors = []
+    check_links(errors)
+    check_bench_coverage(errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: all markdown links resolve; EXPERIMENTS.md and "
+          "bench/CMakeLists.txt agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
