@@ -1,0 +1,179 @@
+// Ablation: how should a crashing model-parallel job checkpoint, and does
+// the Young/Daly rule-of-thumb survive contact with a discrete-event replay?
+//
+// The paper prices one clean iteration; a real training job runs millions of
+// them on hardware that fails. This bench stitches the two layers together:
+// the calibrated simulator (parallel/mp_simulator.h) prices one step of the
+// paper's PCIe fine-tuning configuration, and the crash-recovery model
+// (sim/recovery.h) replays a long horizon of those steps under fail-stop
+// crashes at several MTBFs, sweeping the checkpoint interval around the
+// Young/Daly optimum tau* = sqrt(2 C M).
+//
+// Protocol: for each per-stage MTBF, sweep a geometric grid of checkpoint
+// intervals with common random numbers (same crash seeds for every interval)
+// and report mean wall clock, goodput, and crash count per interval, plus
+// the simulated argmin vs the analytic tau*. The acceptance bar — simulated
+// optimum within 15% of tau* across the MTBF range — is pinned by
+// tests/recovery_test.cpp on a cheaper configuration.
+//
+// A second section replays a bandwidth brown-out against the graceful-
+// degradation controller (train/resilience.h) and prints the escalation /
+// recovery decisions, step by step.
+//
+//   $ ./ablation_recovery [trials] [base_seed]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/simbench.h"
+#include "core/threadpool.h"
+#include "sim/recovery.h"
+#include "train/resilience.h"
+
+int main(int argc, char** argv) {
+  using namespace actcomp;
+  obs::RunReport report("ablation_recovery");
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 60;
+  const uint64_t base_seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  // Price one step: the paper's PCIe fine-tuning cell (TP=2/PP=2, batch
+  // 32x4, seq 512) under the baseline (uncompressed) setting.
+  const auto cluster = sim::ClusterSpec::local_pcie();
+  const auto model = nn::BertConfig::bert_large();
+  const parallel::ParallelConfig par{2, 2};
+  const parallel::TrainJob job{32, 4, 512};
+  parallel::ModelParallelSimulator simulator(cluster, model, par, job);
+  const double step_ms = simulator.run_baseline().total_ms();
+
+  std::printf(
+      "Ablation — crash recovery: checkpoint-interval sweep vs the\n"
+      "Young/Daly analytic optimum (cluster %s, TP=%d/PP=%d, step %.2f ms;\n"
+      "%d trials per interval, base seed %llu)\n",
+      cluster.name.c_str(), par.tp, par.pp, step_ms, trials,
+      static_cast<unsigned long long>(base_seed));
+
+  sim::RecoveryConfig base;
+  base.step_ms = step_ms;
+  // Long enough that even the healthiest MTBF below realizes several
+  // crashes per trial — the sweep's signal is crash overhead.
+  base.total_steps = 20000;
+  // Checkpoint cost: fp32 params + two Adam moments flushed to shared
+  // storage, priced as several iterations.
+  base.ckpt_cost_ms = 6.0 * step_ms;
+  base.crash.num_stages = par.pp;
+  base.crash.detect_ms = 2.0 * step_ms;
+  base.crash.restart_ms = 10.0 * step_ms;
+  base.seed = base_seed;
+
+  // Per-stage MTBF in steps: from "crashy testbed" to "decent cluster".
+  const double mtbf_steps[] = {500.0, 2000.0, 8000.0};
+
+  report.set_config("step_ms", step_ms);
+  report.set_config("total_steps", base.total_steps);
+  report.set_config("trials", int64_t{trials});
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  double worst_deviation = 0.0;
+
+  for (double ms : mtbf_steps) {
+    sim::RecoveryConfig cfg = base;
+    cfg.crash.mtbf_ms = ms * step_ms;
+    const double tau = sim::young_daly_interval_ms(
+        cfg.ckpt_cost_ms, cfg.crash.effective_mtbf_ms());
+    cfg.ckpt_interval_steps =
+        std::max<int64_t>(1, static_cast<int64_t>(std::llround(tau / step_ms)));
+
+    const auto sweep = sim::sweep_checkpoint_interval(cfg, trials);
+
+    std::printf(
+        "\n[per-stage MTBF %.0f steps -> job MTBF %.0f steps | tau* %.1f ms "
+        "(%.0f steps)]\n\n",
+        ms, ms / cfg.crash.num_stages, tau, std::round(tau / step_ms));
+    std::vector<std::string> header{"interval",   "tau ms",    "mean wall s",
+                                    "analytic s", "goodput/s", "crashes"};
+    std::vector<std::vector<std::string>> body;
+    // Star the raw per-point argmin; the reported optimum below is the
+    // quadratic fit through its neighborhood.
+    const auto* argmin = &sweep.points.front();
+    for (const auto& p : sweep.points) {
+      if (p.mean_wall_ms < argmin->mean_wall_ms) argmin = &p;
+    }
+    for (const auto& p : sweep.points) {
+      std::string label = std::to_string(p.interval_steps) + " steps";
+      if (&p == argmin) label += " *";
+      body.push_back({label, bench::fmt(p.interval_ms),
+                      bench::fmt(p.mean_wall_ms * 1e-3),
+                      bench::fmt(p.analytic_wall * 1e-3),
+                      bench::fmt(p.mean_goodput, 3),
+                      bench::fmt(p.mean_crashes, 1)});
+    }
+    bench::print_table(header, body, 14);
+    std::printf(
+        "\nsimulated optimum %.1f ms vs Young/Daly %.1f ms (%+.1f%%)\n",
+        sweep.best_interval_ms, sweep.young_daly_ms,
+        sweep.deviation() * 100.0);
+    worst_deviation =
+        std::max(worst_deviation, std::fabs(sweep.deviation()));
+
+    obs::json::Value rec = obs::json::Value::object();
+    rec.set("mtbf_steps", ms);
+    rec.set("young_daly_ms", sweep.young_daly_ms);
+    rec.set("simulated_best_ms", sweep.best_interval_ms);
+    rec.set("simulated_best_steps", sweep.best_interval_steps);
+    rec.set("deviation", sweep.deviation());
+    report.add_record(std::move(rec));
+  }
+
+  // --- Graceful degradation: a link brown-out, replayed step by step. ---
+  std::printf(
+      "\nGraceful degradation: boundary bandwidth collapses to 30%% for 20\n"
+      "steps, then recovers; controller thresholds 0.6 / 0.9, hold 3.\n\n");
+  train::ResilienceConfig rcfg;
+  train::DegradationController ctl(rcfg, /*num_boundaries=*/1);
+  std::vector<std::string> dheader{"steps", "signal", "smoothed", "level"};
+  std::vector<std::vector<std::string>> dbody;
+  train::DegradeLevel prev = train::DegradeLevel::kNone;
+  int span_begin = 0;
+  auto flush_span = [&](int end, double signal) {
+    dbody.push_back({std::to_string(span_begin) + ".." + std::to_string(end),
+                     bench::fmt(signal), bench::fmt(ctl.smoothed(0)),
+                     train::degrade_level_label(ctl.level(0))});
+    span_begin = end + 1;
+  };
+  for (int step = 0; step < 60; ++step) {
+    const double signal = (step >= 20 && step < 40) ? 0.3 : 1.0;
+    const train::DegradeLevel now = ctl.observe(0, signal);
+    const bool boundary = step == 19 || step == 39 || step == 59;
+    if (now != prev || boundary) {
+      flush_span(step, signal);
+      prev = now;
+    }
+  }
+  bench::print_table(dheader, dbody, 10);
+  std::printf("\nescalations: %lld, de-escalations: %lld, final level: %s\n",
+              static_cast<long long>(ctl.escalations()),
+              static_cast<long long>(ctl.deescalations()),
+              train::degrade_level_label(ctl.level(0)));
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::printf("\ntotal wall clock: %.2f s (%d threads)\n", wall_s,
+              core::num_threads());
+
+  std::printf(
+      "\nTakeaway: the sqrt(2 C M) rule lands within the Monte-Carlo noise\n"
+      "floor of the simulated optimum (worst deviation %.1f%% here) — the\n"
+      "first-order model is all an operator needs to set the interval. The\n"
+      "goodput curve is flat near tau*, so erring long (fewer checkpoints)\n"
+      "is cheap; erring short is not. And when a link browns out, the\n"
+      "hysteresis controller escalates compression after the hold window\n"
+      "and steps back down only once the link has stayed healthy — no\n"
+      "flapping at the thresholds.\n",
+      worst_deviation * 100.0);
+  return 0;
+}

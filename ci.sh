@@ -30,13 +30,15 @@ sanitize() {
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
   # The simulator-pinning harness (randomized-DAG properties, fault-layer
-  # determinism, byte-for-byte golden tables) gets an explicit pass under the
-  # sanitizers: these suites drive the engine and the fault RNG hardest, and
-  # a silent skip here (e.g. a test-name prefix regression hiding them from
-  # the -R filter) must fail loudly, so require a non-empty selection.
+  # determinism, byte-for-byte golden tables) and the resilience surface
+  # (checkpoint serialization, crash-recovery replay) get an explicit pass
+  # under the sanitizers: these suites drive the engine, the fault RNG, and
+  # the checkpoint byte-plumbing hardest, and a silent skip here (e.g. a
+  # test-name prefix regression hiding them from the -R filter) must fail
+  # loudly, so require a non-empty selection.
   ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-    ctest --test-dir build-asan -R 'golden|property|engine' \
+    ctest --test-dir build-asan -R 'golden|property|engine|checkpoint|recovery' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 
@@ -46,15 +48,19 @@ tsan() {
     -DACTCOMP_WERROR=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
-    --target core_test tensor_test compress_test obs_test
+    --target core_test tensor_test compress_test obs_test \
+             checkpoint_test recovery_test
   # Everything that calls parallel_for runs under TSan: the runtime itself
   # (core/), the tensor kernels (tensor/), the compressor kernels
   # (compress/), and the profiler/registry (obs/), whose zone buffers and
-  # CAS loops are exactly the cross-thread state TSan can vet.
+  # CAS loops are exactly the cross-thread state TSan can vet. The
+  # checkpoint/recovery suites join because checkpoint capture and the
+  # training loop underneath it run tensor kernels on the pool too.
   # --no-tests=error guards against a prefix regression silently
   # deselecting the slice.
   TSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir build-tsan -R 'core/|tensor/|compress/|obs/' \
+    ctest --test-dir build-tsan \
+      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 

@@ -61,6 +61,13 @@ void FaultProfile::validate() const {
        << " — must be in [1, 16] when outage_rate > 0";
     fail(os.str());
   }
+  check_finite_nonneg(crash.mtbf_ms, "crash.mtbf_ms");
+  check_finite_nonneg(crash.detect_ms, "crash.detect_ms");
+  check_finite_nonneg(crash.restart_ms, "crash.restart_ms");
+  if (crash.num_stages < 1) {
+    os << "crash.num_stages = " << crash.num_stages << " — must be >= 1";
+    fail(os.str());
+  }
 }
 
 FaultProfile FaultProfile::none() { return {}; }

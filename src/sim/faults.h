@@ -48,6 +48,13 @@ struct FaultProfile {
   /// addressed as p-1.
   LinkFaultSpec link;
   int faulty_boundary = -1;
+  /// Fail-stop stage crashes. NOT consumed by the per-iteration injector
+  /// below (a crash kills the whole job, not one op): the multi-iteration
+  /// recovery layer (sim/recovery.h) reads it to model crash -> detection ->
+  /// restart -> rollback-and-replay against a checkpoint interval. enabled()
+  /// therefore ignores it, which keeps the per-iteration clean path
+  /// bit-identical when only crashes are configured.
+  CrashSpec crash;
   /// Seed for every stochastic draw. Two profiles differing only in seed
   /// realize different jitter/outage patterns over the same scenario.
   uint64_t seed = 0;

@@ -51,6 +51,31 @@ struct LinkFaultSpec {
   bool faulty() const { return degrade_factor > 1.0 || outage_rate > 0.0; }
 };
 
+/// Fail-stop crash model for a model-parallel job, consumed by the
+/// crash-recovery layer (sim/recovery.h). Unlike LinkFaultSpec's transient
+/// outages — which a retry chain absorbs within the iteration — a crash
+/// kills the whole synchronous job: every stage must roll back to the last
+/// checkpoint and replay. The default is crash-free.
+struct CrashSpec {
+  /// Per-stage mean time between fail-stop crashes (exponential arrivals).
+  /// 0 disables crashes entirely.
+  double mtbf_ms = 0.0;
+  /// Stages crashing independently; the job-level failure rate is
+  /// num_stages / mtbf_ms (the minimum of independent exponentials).
+  int num_stages = 1;
+  /// Delay until the failure detector fires (the job burns this time
+  /// computing results that will be discarded).
+  double detect_ms = 0.0;
+  /// Restart / rejoin cost paid once per crash before replay begins.
+  double restart_ms = 0.0;
+
+  bool enabled() const { return mtbf_ms > 0.0; }
+  /// Job-level MTBF: mtbf_ms / num_stages.
+  double effective_mtbf_ms() const {
+    return mtbf_ms / static_cast<double>(num_stages);
+  }
+};
+
 struct GpuSpec {
   double peak_fp16_tflops = 112.0;  ///< V100 tensor-core peak
   /// Achieved fraction of peak for transformer-layer GEMMs. The paper's

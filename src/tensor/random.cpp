@@ -67,6 +67,21 @@ std::vector<int64_t> Generator::sample_without_replacement(int64_t n, int64_t k)
 
 Generator Generator::split() { return Generator(engine_()); }
 
+std::string Generator::state() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Generator::set_state(const std::string& s) {
+  std::istringstream is(s);
+  std::mt19937_64 restored;
+  is >> restored;
+  ACTCOMP_CHECK(static_cast<bool>(is),
+                "malformed RNG state string (" << s.size() << " bytes)");
+  engine_ = restored;
+}
+
 Tensor xavier_uniform(Generator& gen, Shape shape, int64_t fan_in, int64_t fan_out) {
   ACTCOMP_CHECK(fan_in > 0 && fan_out > 0, "xavier fan dims must be positive");
   const float bound =

@@ -33,6 +33,16 @@ class Generator {
   /// A fresh generator seeded from this one (for spawning independent streams).
   Generator split();
 
+  /// Serialized engine state (the mt19937_64 textual form, which the
+  /// standard specifies exactly), for checkpointing: restoring it resumes
+  /// the stream at the same cursor, so save -> restore -> draw produces the
+  /// bit-identical sequence a straight run would. Distributions carry no
+  /// cross-call state here (each draw constructs its own), so the engine
+  /// state is the whole cursor.
+  std::string state() const;
+  /// Inverse of state(); throws std::invalid_argument on a malformed string.
+  void set_state(const std::string& s);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

@@ -107,6 +107,26 @@ void Adam::step() {
   }
 }
 
+void Adam::restore_state(int64_t step_count, std::vector<tensor::Tensor> m,
+                         std::vector<tensor::Tensor> v) {
+  ACTCOMP_CHECK(step_count >= 0, "Adam step count must be >= 0, got " << step_count);
+  ACTCOMP_CHECK(m.size() == params_.size() && v.size() == params_.size(),
+                "Adam moment count " << m.size() << "/" << v.size()
+                                     << " != parameter count " << params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const int64_t n = params_[i].value().numel();
+    ACTCOMP_CHECK(m[i].numel() == 0 || m[i].numel() == n,
+                  "Adam first moment " << i << " has " << m[i].numel()
+                                       << " elements, parameter has " << n);
+    ACTCOMP_CHECK(v[i].numel() == 0 || v[i].numel() == n,
+                  "Adam second moment " << i << " has " << v[i].numel()
+                                        << " elements, parameter has " << n);
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 LinearWarmupSchedule::LinearWarmupSchedule(float peak_lr, int64_t warmup_steps,
                                            int64_t total_steps)
     : peak_lr_(peak_lr), warmup_steps_(warmup_steps), total_steps_(total_steps) {

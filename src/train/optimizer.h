@@ -53,6 +53,21 @@ class Adam final : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void step() override;
 
+  // ---- checkpoint surface (train/checkpoint.h) ----
+  /// Number of step() calls applied (the bias-correction exponent).
+  int64_t step_count() const { return t_; }
+  /// First/second moment per parameter, aligned with the construction +
+  /// add_parameters() order. Lazily sized: a parameter that has never
+  /// received a gradient has an empty (0-element) moment tensor.
+  const std::vector<tensor::Tensor>& exp_avg() const { return m_; }
+  const std::vector<tensor::Tensor>& exp_avg_sq() const { return v_; }
+  /// Restore the full optimizer state. `m` and `v` must have exactly one
+  /// entry per current parameter, each either empty (never stepped) or
+  /// matching the parameter's element count; throws std::invalid_argument
+  /// naming the offending index otherwise.
+  void restore_state(int64_t step_count, std::vector<tensor::Tensor> m,
+                     std::vector<tensor::Tensor> v);
+
  private:
   float beta1_;
   float beta2_;

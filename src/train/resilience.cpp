@@ -1,0 +1,127 @@
+#include "train/resilience.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/registry.h"
+#include "tensor/check.h"
+
+namespace actcomp::train {
+
+const char* degrade_level_label(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kNone: return "none";
+    case DegradeLevel::kQuant8: return "int8";
+    case DegradeLevel::kTopK: return "topk";
+  }
+  return "?";
+}
+
+compress::Setting degrade_setting(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kNone: return compress::Setting::kBaseline;
+    case DegradeLevel::kQuant8: return compress::Setting::kQ3;
+    case DegradeLevel::kTopK: return compress::Setting::kT1;
+  }
+  return compress::Setting::kBaseline;
+}
+
+void ResilienceConfig::validate() const {
+  std::ostringstream os;
+  if (!std::isfinite(escalate_below) || escalate_below <= 0.0 ||
+      escalate_below >= 1.0) {
+    os << "ResilienceConfig: escalate_below = " << escalate_below
+       << " — must be in (0, 1)";
+    throw std::invalid_argument(os.str());
+  }
+  if (!std::isfinite(recover_above) || recover_above <= escalate_below ||
+      recover_above > 1.0) {
+    os << "ResilienceConfig: recover_above = " << recover_above
+       << " — must be in (escalate_below, 1] to leave a hysteresis band";
+    throw std::invalid_argument(os.str());
+  }
+  if (hold_steps < 1) {
+    os << "ResilienceConfig: hold_steps = " << hold_steps << " — must be >= 1";
+    throw std::invalid_argument(os.str());
+  }
+  if (!std::isfinite(ewma_alpha) || ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    os << "ResilienceConfig: ewma_alpha = " << ewma_alpha
+       << " — must be in (0, 1]";
+    throw std::invalid_argument(os.str());
+  }
+}
+
+DegradationController::DegradationController(const ResilienceConfig& cfg,
+                                             int num_boundaries)
+    : cfg_(cfg) {
+  cfg_.validate();
+  ACTCOMP_CHECK(num_boundaries >= 1,
+                "DegradationController: num_boundaries must be >= 1");
+  state_.resize(static_cast<size_t>(num_boundaries));
+}
+
+DegradeLevel DegradationController::observe(int boundary,
+                                            double bandwidth_fraction) {
+  ACTCOMP_CHECK(boundary >= 0 && boundary < num_boundaries(),
+                "DegradationController: boundary out of range");
+  ACTCOMP_CHECK(std::isfinite(bandwidth_fraction) && bandwidth_fraction >= 0.0,
+                "DegradationController: bandwidth_fraction must be finite and "
+                ">= 0");
+  BoundaryState& s = state_[static_cast<size_t>(boundary)];
+  if (!s.seeded) {
+    s.ewma = bandwidth_fraction;
+    s.seeded = true;
+  } else {
+    s.ewma = cfg_.ewma_alpha * bandwidth_fraction +
+             (1.0 - cfg_.ewma_alpha) * s.ewma;
+  }
+
+  // Runs reset whenever the smoothed signal re-enters the hysteresis band,
+  // so only a *sustained* excursion triggers a transition.
+  if (s.ewma < cfg_.escalate_below) {
+    ++s.below_run;
+    s.above_run = 0;
+  } else if (s.ewma > cfg_.recover_above) {
+    ++s.above_run;
+    s.below_run = 0;
+  } else {
+    s.below_run = 0;
+    s.above_run = 0;
+  }
+
+  if (s.below_run >= cfg_.hold_steps && s.level != DegradeLevel::kTopK) {
+    s.level = static_cast<DegradeLevel>(static_cast<int>(s.level) + 1);
+    s.below_run = 0;  // a further escalation needs a fresh sustained run
+    ++escalations_;
+    obs::Registry::instance().counter("train.resilience.escalations").add();
+  } else if (s.above_run >= cfg_.hold_steps && s.level != DegradeLevel::kNone) {
+    s.level = static_cast<DegradeLevel>(static_cast<int>(s.level) - 1);
+    s.above_run = 0;
+    ++deescalations_;
+    obs::Registry::instance().counter("train.resilience.deescalations").add();
+  }
+  return s.level;
+}
+
+DegradeLevel DegradationController::level(int boundary) const {
+  ACTCOMP_CHECK(boundary >= 0 && boundary < num_boundaries(),
+                "DegradationController: boundary out of range");
+  return state_[static_cast<size_t>(boundary)].level;
+}
+
+DegradeLevel DegradationController::max_level() const {
+  DegradeLevel worst = DegradeLevel::kNone;
+  for (const BoundaryState& s : state_) {
+    if (static_cast<int>(s.level) > static_cast<int>(worst)) worst = s.level;
+  }
+  return worst;
+}
+
+double DegradationController::smoothed(int boundary) const {
+  ACTCOMP_CHECK(boundary >= 0 && boundary < num_boundaries(),
+                "DegradationController: boundary out of range");
+  return state_[static_cast<size_t>(boundary)].ewma;
+}
+
+}  // namespace actcomp::train

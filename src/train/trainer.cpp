@@ -1,12 +1,14 @@
 #include "train/trainer.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "autograd/functions.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
 #include "tensor/check.h"
 #include "tensor/ops.h"
+#include "train/checkpoint.h"
 
 namespace actcomp::train {
 
@@ -45,6 +47,19 @@ double metric_value(data::MetricKind kind, const std::vector<int64_t>& preds,
       return metrics::spearman(pred_values, label_values);
   }
   ACTCOMP_ASSERT(false, "unknown metric kind");
+}
+
+/// Non-finite-loss guard: throws with the step number BEFORE backward and
+/// the optimizer update run, so a divergent step can never write NaN into
+/// parameters or Adam moments (which a checkpoint would then persist).
+void check_loss_finite(double loss, int64_t step) {
+  if (!std::isfinite(loss)) {
+    std::ostringstream os;
+    os << "non-finite loss " << loss << " at step " << step
+       << " — aborting before the optimizer state is corrupted (lower the "
+          "learning rate or enable gradient clipping)";
+    throw std::runtime_error(os.str());
+  }
 }
 
 }  // namespace
@@ -134,13 +149,14 @@ FinetuneResult finetune(nn::BertModel& model, const data::TaskDataset& train,
           loss = ag::softmax_cross_entropy(logits, batch.class_labels);
         }
       }
+      last_loss = loss.value().item();
+      check_loss_finite(last_loss, step);
       loss.backward();
       {
         ACTCOMP_PROFILE("train.optimizer");
-        opt.clip_grad_norm(cfg.clip_norm);
+        if (cfg.clip_norm > 0.0f) opt.clip_grad_norm(cfg.clip_norm);
         opt.step();
       }
-      last_loss = loss.value().item();
       ++step;
       obs::Registry::instance().counter("train.finetune.steps").add();
     }
@@ -157,48 +173,103 @@ PretrainResult pretrain_mlm(nn::BertModel& model, nn::MlmHead& head,
                             const data::PretrainCorpus& corpus,
                             const PretrainConfig& cfg,
                             const core::CompressionBinder* binder) {
-  ts::Generator gen(cfg.seed);
-  const auto warmup =
-      static_cast<int64_t>(cfg.warmup_frac * static_cast<float>(cfg.steps));
-  LinearWarmupSchedule schedule(cfg.lr, warmup, cfg.steps);
+  PretrainSession session(model, head, corpus, cfg, binder);
+  session.run_steps(cfg.steps);
+  return session.result();
+}
 
-  Adam opt(model.parameters(), cfg.lr, 0.9f, 0.999f, 1e-8f, 0.01f);
-  opt.add_parameters(head.parameters());
-  if (binder != nullptr) opt.add_parameters(binder->codec_parameters());
-
-  PretrainResult result;
-  result.steps = cfg.steps;
-  const int64_t tail_begin = cfg.steps - std::max<int64_t>(1, cfg.steps / 10);
-  double tail_sum = 0.0;
-  int64_t tail_count = 0;
-  for (int64_t step = 0; step < cfg.steps; ++step) {
-    ACTCOMP_PROFILE("train.step");
-    opt.set_lr(schedule.lr_at(step));
-    opt.zero_grad();
-    const data::MlmBatch batch = corpus.sample_mlm_batch(cfg.batch_size, cfg.seq, gen);
-    ag::Variable loss;
-    {
-      ACTCOMP_PROFILE("train.forward");
-      ag::Variable seq = model.forward(batch.input, gen, /*training=*/true);
-      ag::Variable logits = head.forward(seq);  // [b*s, V]
-      loss = ag::softmax_cross_entropy_masked(logits, batch.labels,
-                                              data::MlmBatch::kIgnore);
-    }
-    loss.backward();
-    {
-      ACTCOMP_PROFILE("train.optimizer");
-      opt.clip_grad_norm(cfg.clip_norm);
-      opt.step();
-    }
-    obs::Registry::instance().counter("train.pretrain.steps").add();
-    const double lv = loss.value().item();
-    if (step == 0) result.initial_loss = lv;
-    if (step >= tail_begin) {
-      tail_sum += lv;
-      ++tail_count;
+PretrainSession::PretrainSession(nn::BertModel& model, nn::MlmHead& head,
+                                 const data::PretrainCorpus& corpus,
+                                 const PretrainConfig& cfg,
+                                 const core::CompressionBinder* binder)
+    : model_(model),
+      head_(head),
+      corpus_(corpus),
+      cfg_(cfg),
+      schedule_(cfg.lr,
+                static_cast<int64_t>(cfg.warmup_frac *
+                                     static_cast<float>(cfg.steps)),
+                cfg.steps),
+      opt_(model.parameters(), cfg.lr, 0.9f, 0.999f, 1e-8f, 0.01f),
+      gen_(cfg.seed) {
+  opt_.add_parameters(head_.parameters());
+  // The named view mirrors the optimizer's registration order exactly —
+  // capture_train_state stores the Adam moments positionally against it.
+  named_params_ = nn::prefixed("model", model_.named_parameters());
+  for (auto& p : nn::prefixed("head", head_.named_parameters())) {
+    named_params_.push_back(std::move(p));
+  }
+  if (binder != nullptr) {
+    opt_.add_parameters(binder->codec_parameters());
+    for (auto& p : binder->named_codec_parameters()) {
+      named_params_.push_back(std::move(p));
     }
   }
-  result.final_loss = tail_count > 0 ? tail_sum / static_cast<double>(tail_count) : 0.0;
+}
+
+double PretrainSession::step_once() {
+  ACTCOMP_PROFILE("train.step");
+  opt_.set_lr(schedule_.lr_at(step_));
+  opt_.zero_grad();
+  const data::MlmBatch batch =
+      corpus_.sample_mlm_batch(cfg_.batch_size, cfg_.seq, gen_);
+  ag::Variable loss;
+  {
+    ACTCOMP_PROFILE("train.forward");
+    ag::Variable seq = model_.forward(batch.input, gen_, /*training=*/true);
+    ag::Variable logits = head_.forward(seq);  // [b*s, V]
+    loss = ag::softmax_cross_entropy_masked(logits, batch.labels,
+                                            data::MlmBatch::kIgnore);
+  }
+  const double lv = loss.value().item();
+  check_loss_finite(lv, step_);
+  loss.backward();
+  {
+    ACTCOMP_PROFILE("train.optimizer");
+    if (cfg_.clip_norm > 0.0f) opt_.clip_grad_norm(cfg_.clip_norm);
+    opt_.step();
+  }
+  obs::Registry::instance().counter("train.pretrain.steps").add();
+  return lv;
+}
+
+int64_t PretrainSession::run_steps(int64_t n) {
+  ACTCOMP_CHECK(n >= 0, "cannot run " << n << " steps");
+  const int64_t tail_begin =
+      cfg_.steps - std::max<int64_t>(1, cfg_.steps / 10);
+  int64_t ran = 0;
+  while (ran < n && step_ < cfg_.steps) {
+    const double lv = step_once();
+    if (step_ == 0) initial_loss_ = lv;
+    if (step_ >= tail_begin) {
+      tail_sum_ += lv;
+      ++tail_count_;
+    }
+    last_loss_ = lv;
+    ++step_;
+    ++ran;
+  }
+  return ran;
+}
+
+void PretrainSession::save(const std::string& path) const {
+  Checkpoint ckpt = capture_train_state(named_params_, opt_, gen_, step_);
+  ckpt.meta["kind"] = "pretrain_mlm";
+  save_checkpoint(path, ckpt);
+}
+
+void PretrainSession::restore(const std::string& path) {
+  const Checkpoint ckpt = load_checkpoint(path);
+  restore_train_state(ckpt, named_params_, opt_, gen_);
+  step_ = ckpt.step;
+}
+
+PretrainResult PretrainSession::result() const {
+  PretrainResult result;
+  result.steps = cfg_.steps;
+  result.initial_loss = initial_loss_;
+  result.final_loss =
+      tail_count_ > 0 ? tail_sum_ / static_cast<double>(tail_count_) : 0.0;
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "core/binder.h"
 #include "data/dataset.h"
@@ -22,6 +23,7 @@ struct FinetuneConfig {
   int64_t epochs = 3;
   float lr = 3e-4f;
   float warmup_frac = 0.1f;
+  /// Global gradient-norm clip; <= 0 disables clipping.
   float clip_norm = 1.0f;
   uint64_t seed = 1234;
 };
@@ -38,6 +40,7 @@ struct PretrainConfig {
   int64_t seq = 32;
   float lr = 1e-3f;
   float warmup_frac = 0.05f;
+  /// Global gradient-norm clip; <= 0 disables clipping.
   float clip_norm = 1.0f;
   uint64_t seed = 99;
 };
@@ -68,5 +71,70 @@ PretrainResult pretrain_mlm(nn::BertModel& model, nn::MlmHead& head,
                             const data::PretrainCorpus& corpus,
                             const PretrainConfig& cfg,
                             const core::CompressionBinder* binder);
+
+/// Stateful MLM pre-training with deterministic checkpoint/restore.
+///
+/// Step semantics are identical to pretrain_mlm() (which is implemented on
+/// top of this class); in addition the whole training cursor — parameters,
+/// Adam moments + step count, and the batch-sampling/dropout RNG — can be
+/// saved to and restored from a checkpoint file (train/checkpoint.h), with
+/// the bit-identity contract
+///
+///   run_steps(N)  ==  run_steps(k) -> save -> restore -> run_steps(N - k)
+///
+/// (tests/checkpoint_test.cpp byte-compares parameters and moments).
+/// Compressor error-feedback residuals are NOT captured; checkpoint with
+/// error feedback off (the default) for exact resumption.
+///
+/// Every step guards against numerical blow-up: a NaN/Inf loss throws
+/// std::runtime_error naming the step *before* backward/optimizer run, so a
+/// divergent step can never corrupt the optimizer state it would be
+/// restored from.
+class PretrainSession {
+ public:
+  /// `binder` (may be null) contributes codec parameters to the optimizer,
+  /// exactly as in pretrain_mlm().
+  PretrainSession(nn::BertModel& model, nn::MlmHead& head,
+                  const data::PretrainCorpus& corpus, const PretrainConfig& cfg,
+                  const core::CompressionBinder* binder);
+
+  /// Run up to `n` further steps (clamped so the total never exceeds
+  /// cfg.steps). Returns the number of steps actually executed.
+  int64_t run_steps(int64_t n);
+
+  /// Steps completed so far.
+  int64_t step() const { return step_; }
+  bool done() const { return step_ >= cfg_.steps; }
+  /// Loss of the most recent step (0 before the first).
+  double last_loss() const { return last_loss_; }
+
+  /// Snapshot the full training cursor to `path` (atomic write).
+  void save(const std::string& path) const;
+  /// Restore a snapshot taken by an identically-constructed session (same
+  /// model/head shapes, same binder layout). Throws std::runtime_error with
+  /// a precise message on any mismatch, leaving the session untouched.
+  void restore(const std::string& path);
+
+  /// Loss bookkeeping in pretrain_mlm's format. Valid once done(); the
+  /// initial/tail losses cover only steps run by THIS session object.
+  PretrainResult result() const;
+
+ private:
+  double step_once();
+
+  nn::BertModel& model_;
+  nn::MlmHead& head_;
+  const data::PretrainCorpus& corpus_;
+  PretrainConfig cfg_;
+  LinearWarmupSchedule schedule_;
+  std::vector<nn::NamedParam> named_params_;
+  Adam opt_;
+  tensor::Generator gen_;
+  int64_t step_ = 0;
+  double last_loss_ = 0.0;
+  double initial_loss_ = 0.0;
+  double tail_sum_ = 0.0;
+  int64_t tail_count_ = 0;
+};
 
 }  // namespace actcomp::train
