@@ -6,7 +6,9 @@
 #   ./ci.sh docs      — markdown links resolve; EXPERIMENTS.md covers every
 #                       bench binary and names no binary that doesn't build
 #   ./ci.sh bench     — kernels_bench --quick through the RunReport schema,
-#                       plus the <2% profiler-overhead gate (DESIGN.md §11)
+#                       the <2% profiler-overhead gate (DESIGN.md §11), and
+#                       the engine events/sec gate vs the committed baseline
+#                       (tools/check_engine_perf.py, >30% regression fails)
 # No arguments runs all in sequence.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -38,7 +40,8 @@ sanitize() {
   # loudly, so require a non-empty selection.
   ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-    ctest --test-dir build-asan -R 'golden|property|engine|checkpoint|recovery' \
+    ctest --test-dir build-asan \
+      -R 'golden|property|engine|topology|checkpoint|recovery' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 
@@ -49,18 +52,19 @@ tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
     --target core_test tensor_test compress_test obs_test \
-             checkpoint_test recovery_test
+             checkpoint_test recovery_test topology_test
   # Everything that calls parallel_for runs under TSan: the runtime itself
   # (core/), the tensor kernels (tensor/), the compressor kernels
   # (compress/), and the profiler/registry (obs/), whose zone buffers and
   # CAS loops are exactly the cross-thread state TSan can vet. The
   # checkpoint/recovery suites join because checkpoint capture and the
-  # training loop underneath it run tensor kernels on the pool too.
-  # --no-tests=error guards against a prefix regression silently
-  # deselecting the slice.
+  # training loop underneath it run tensor kernels on the pool too, and
+  # topology/ because the 3D simulator it drives is the newest surface the
+  # sanitizers should sweep. --no-tests=error guards against a prefix
+  # regression silently deselecting the slice.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan \
-      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/' \
+      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/|topology/' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 
@@ -82,6 +86,14 @@ bench() {
   python3 tools/check_overhead.py \
     build/bench-ci/bench_prof_off.json build/bench-ci/bench_prof_on.json \
     "${ACTCOMP_OVERHEAD_PCT:-2.0}"
+  # Engine throughput gate: a quick events/sec run against the committed
+  # baseline (regenerate with `engine_bench --quick bench/baselines/
+  # BENCH_engine.json` on a quiet box when the engine legitimately changes).
+  cmake --build build -j "$jobs" --target engine_bench
+  (cd build/bench-ci && ../bench/engine_bench --quick bench_engine.json)
+  python3 tools/check_engine_perf.py \
+    bench/baselines/BENCH_engine.json build/bench-ci/bench_engine.json \
+    "${ACTCOMP_ENGINE_PERF_PCT:-30.0}"
 }
 
 case "${1:-all}" in

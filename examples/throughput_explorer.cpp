@@ -6,11 +6,20 @@
 // winner — the decision the paper's Tables 2-7 answer for BERT-Large.
 //
 //   $ ./throughput_explorer [--faults] [--mtbf <ms>] [--ckpt-interval <steps>]
-//                           [pcie|nvlink|multinode] [tp] [pp]
+//                           [--dp <replicas>] [--topology <spine>]
+//                           [pcie|nvlink|multinode|datacenter] [tp] [pp]
 //                           [micro_batch] [num_micro] [seq]
 //   $ ./throughput_explorer nvlink 4 1 32 1 512
 //   $ ./throughput_explorer --faults pcie 2 2 32 4
 //   $ ./throughput_explorer --faults --mtbf 3600000 --ckpt-interval 200 pcie
+//   $ ./throughput_explorer --dp 16 --topology oversub:4 datacenter 8 4 16 32
+//
+// --dp adds a data-parallel axis (dp replicas of the tp x pp grid; the
+// cluster is sized to tp*pp*dp GPUs on the multi-node platforms — pcie and
+// nvlink are fixed 4-GPU boxes, so dp must satisfy tp*pp*dp == 4 there).
+// --topology picks the spine above the nodes: flat (default), fat-tree, or
+// oversub[:factor] (Ethernet uplinks at 1/factor bandwidth, default 4).
+// The datacenter platform is 8-GPU NVLink islands under a 100 GbE spine.
 //
 // With --faults, each setting is additionally replayed under seeded fault
 // scenarios (a straggler stage and a flaky link — see sim/faults.h) and the
@@ -43,6 +52,8 @@ int main(int argc, char** argv) {
   bool faults_mode = false;
   double mtbf_ms = 0.0;           // per-stage MTBF; 0 = no recovery projection
   int64_t ckpt_interval = 0;      // steps; 0 = use the Young/Daly interval
+  int dp = 1;
+  std::string topology = "flat";
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -52,6 +63,10 @@ int main(int argc, char** argv) {
       mtbf_ms = std::atof(argv[++i]);
     } else if (a == "--ckpt-interval" && i + 1 < argc) {
       ckpt_interval = std::atoll(argv[++i]);
+    } else if (a == "--dp" && i + 1 < argc) {
+      dp = std::atoi(argv[++i]);
+    } else if (a == "--topology" && i + 1 < argc) {
+      topology = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -64,27 +79,53 @@ int main(int argc, char** argv) {
   const int64_t num_micro = n > 4 ? std::atoll(args[4]) : 1;
   const int64_t seq = n > 5 ? std::atoll(args[5]) : 512;
 
+  // Spine override: flat | fat-tree | oversub[:factor].
+  sim::TopologySpec topo;
+  if (topology == "fat-tree") {
+    topo.spine = sim::TopologySpec::Spine::kFatTree;
+  } else if (topology.rfind("oversub", 0) == 0) {
+    topo.spine = sim::TopologySpec::Spine::kOversubscribed;
+    const size_t colon = topology.find(':');
+    topo.oversubscription =
+        colon == std::string::npos ? 4.0 : std::atof(topology.c_str() + colon + 1);
+  } else if (topology != "flat") {
+    std::fprintf(stderr, "unknown --topology '%s' (flat|fat-tree|oversub[:N])\n",
+                 topology.c_str());
+    return 2;
+  }
+
+  const int total_gpus = tp * pp * dp;
   sim::ClusterSpec cluster;
   if (platform == "nvlink") {
     cluster = sim::ClusterSpec::aws_p3(1);
   } else if (platform == "multinode") {
-    cluster = sim::ClusterSpec::aws_p3((tp * pp + 3) / 4);
+    cluster = sim::ClusterSpec::aws_p3((total_gpus + 3) / 4);
+  } else if (platform == "datacenter") {
+    cluster = sim::ClusterSpec::datacenter((total_gpus + 7) / 8, topo.spine,
+                                           topo.oversubscription);
   } else {
     cluster = sim::ClusterSpec::local_pcie();
+  }
+  if (platform != "datacenter") {
+    cluster.topology = topo;
+    cluster.validate();
   }
 
   const nn::BertConfig model = nn::BertConfig::bert_large();
   report.set_config("platform", platform);
   report.set_config("tp", int64_t{tp});
   report.set_config("pp", int64_t{pp});
+  report.set_config("dp", int64_t{dp});
+  report.set_config("topology", topology);
   report.set_config("micro_batch", micro);
   report.set_config("num_micro", num_micro);
   report.set_config("seq", seq);
-  parallel::ModelParallelSimulator simulator(cluster, model, {tp, pp},
+  parallel::ModelParallelSimulator simulator(cluster, model, {tp, pp, dp},
                                              {micro, num_micro, seq});
   std::printf(
-      "Platform %s | BERT-Large | TP=%d PP=%d | micro %lld x %lld, seq %lld\n\n",
-      cluster.name.c_str(), tp, pp, static_cast<long long>(micro),
+      "Platform %s | BERT-Large | TP=%d PP=%d DP=%d | micro %lld x %lld, seq "
+      "%lld\n\n",
+      cluster.name.c_str(), tp, pp, dp, static_cast<long long>(micro),
       static_cast<long long>(num_micro), static_cast<long long>(seq));
 
   double best = 1e30;
@@ -146,7 +187,7 @@ int main(int argc, char** argv) {
             sweep.run(sc.profile, [&](const sim::FaultProfile& fp) {
               parallel::SimOptions opts(sim::ScheduleKind::k1F1B, 1, false,
                                         false, fp);
-              parallel::ModelParallelSimulator sim(cluster, model, {tp, pp},
+              parallel::ModelParallelSimulator sim(cluster, model, {tp, pp, dp},
                                                    {micro, num_micro, seq},
                                                    opts);
               return sim.run(p).total_ms();

@@ -95,10 +95,12 @@ ModelParallelSimulator::ModelParallelSimulator(sim::ClusterSpec cluster,
       parallel_(parallel),
       job_(job),
       options_(options) {
-  ACTCOMP_CHECK(parallel_.tp >= 1 && parallel_.pp >= 1, "bad parallel degrees");
-  ACTCOMP_CHECK(parallel_.tp * parallel_.pp == cluster_.total_gpus(),
-                "tp*pp = " << parallel_.tp * parallel_.pp << " != cluster GPUs "
-                           << cluster_.total_gpus());
+  cluster_.validate();
+  ACTCOMP_CHECK(parallel_.tp >= 1 && parallel_.pp >= 1 && parallel_.dp >= 1,
+                "bad parallel degrees");
+  ACTCOMP_CHECK(parallel_.tp * parallel_.pp * parallel_.dp == cluster_.total_gpus(),
+                "tp*pp*dp = " << parallel_.tp * parallel_.pp * parallel_.dp
+                              << " != cluster GPUs " << cluster_.total_gpus());
   ACTCOMP_CHECK(model_.num_layers % parallel_.pp == 0,
                 "layers " << model_.num_layers << " not divisible by pp "
                           << parallel_.pp);
@@ -143,6 +145,15 @@ double ModelParallelSimulator::boundary_parallelism(int boundary) const {
   if (boundary_cross_node(boundary)) return 1.0;  // slices share one NIC
   if (!cluster_.has_nvlink) return 1.0;  // slices share one PCIe bridge
   return static_cast<double>(parallel_.tp);  // parallel NVLink lanes
+}
+
+void ModelParallelSimulator::dp_group_shape(int* intra, int* inter) const {
+  const int mp = parallel_.tp * parallel_.pp;
+  int in_node = std::min(parallel_.dp, std::max(1, cluster_.gpus_per_node / mp));
+  // Keep the two-level split exact; a ragged fit degenerates to all-inter.
+  if (parallel_.dp % in_node != 0) in_node = 1;
+  *intra = in_node;
+  *inter = parallel_.dp / in_node;
 }
 
 int64_t ModelParallelSimulator::parameter_count(const nn::BertConfig& cfg) {
@@ -351,6 +362,37 @@ IterationBreakdown ModelParallelSimulator::run(
     }
   }
 
+  // Data-parallel axis: dp replicas of the tp*pp grid, coupled by a
+  // per-stage gradient all-reduce over the DP group. The group is
+  // hierarchical on the cluster — peers inside a node reduce over NVLink,
+  // one leader per node rings over the spine-adjusted cross-node link.
+  // Gradients may be compressed (dp_grad_setting); codec time is serialized
+  // with the collective on the DP link, and the wire-size model is the same
+  // one activations use (the gradient shard is priced as a numel-element
+  // tensor of hidden-sized rows).
+  if (parallel_.dp > 1) {
+    costs.dp.replicas = parallel_.dp;
+    costs.dp.overlap_grads = options_.dp_overlap_grads;
+    const cp::Setting gset = options_.dp_grad_setting;
+    const int64_t grad_elems = parameter_count(model_) / (tp * pp);
+    int64_t grad_wire = grad_elems * 2;
+    double g_enc = 0.0, g_dec = 0.0;
+    if (gset != cp::Setting::kBaseline) {
+      grad_wire = wire_bytes(gset, grad_elems, h);
+      g_enc = overhead_.encode_ms(gset, grad_elems, h);
+      g_dec = overhead_.decode_ms(gset, grad_elems, h);
+    }
+    int dp_intra = 1, dp_inter = 1;
+    dp_group_shape(&dp_intra, &dp_inter);
+    const sim::LinkSpec cross =
+        cluster_.topology.cross_node(cluster_.inter_node, dp_inter);
+    const double ar_ms =
+        sm::hierarchical_allreduce_ms(grad_wire, dp_intra, dp_inter,
+                                      cluster_.intra_node, cross) +
+        g_enc + g_dec;
+    costs.dp.grad_allreduce_ms.assign(static_cast<size_t>(pp), ar_ms);
+  }
+
   const sm::PipelineResult pres = sm::simulate_pipeline(
       costs, sm::PipelineOptions{options_.schedule, options_.virtual_stages,
                                  options_.overlap, options_.faults});
@@ -359,6 +401,8 @@ IterationBreakdown ModelParallelSimulator::run(
   out.makespan_ms = pres.makespan_ms;
   out.fault_retries = pres.fault_retries;
   out.fault_retry_ms = pres.fault_retry_ms + pres.fault_backoff_ms;
+  out.dp_replicas = pres.dp_replicas;
+  out.dp_comm_ms = pres.dp_comm_ms;
   const int64_t params_per_rank = parameter_count(model_) / (tp * pp);
   // Fused Adam on V100: ~0.04 ns/param plus a fixed launch cost (fitted to
   // the paper's 5-8 ms optimizer rows).

@@ -25,8 +25,9 @@
 namespace actcomp::parallel {
 
 struct ParallelConfig {
-  int tp = 1;  ///< tensor model-parallel degree
+  int tp = 1;  ///< tensor model-parallel degree (innermost, intra-node)
   int pp = 1;  ///< pipeline model-parallel degree
+  int dp = 1;  ///< data-parallel degree (outermost; replicas of the tp*pp grid)
 };
 
 /// Execution-model knobs for the discrete-event pipeline engine.
@@ -48,6 +49,16 @@ struct SimOptions {
   /// injected into the pipeline op graph; disabled by default. See
   /// sim/faults.h and bench/ablation_faults.
   sim::FaultProfile faults;
+
+  /// Compress the data-parallel gradient all-reduce payload with this
+  /// setting (kBaseline = fp16 gradients on the wire). Priced with the same
+  /// OverheadModel encode/decode costs as activation compression; the codec
+  /// work is serialized with the all-reduce on the DP link. Only read when
+  /// parallel.dp > 1.
+  compress::Setting dp_grad_setting = compress::Setting::kBaseline;
+  /// Overlap gradient all-reduces with the backward drain (bucketed DDP);
+  /// false appends them as a synchronous phase. Only read when dp > 1.
+  bool dp_overlap_grads = true;
 
   SimOptions() = default;
   SimOptions(sim::ScheduleKind s, int v, bool ov, bool contention,
@@ -95,6 +106,12 @@ struct IterationBreakdown {
   /// attempts and the link/backoff time they burned.
   int fault_retries = 0;
   double fault_retry_ms = 0.0;
+
+  /// Data-parallel accounting (dp_replicas == 1, dp_comm_ms == 0 on 2D
+  /// runs): replicas simulated and the total gradient all-reduce time per
+  /// iteration (encode/decode included when dp_grad_setting compresses).
+  int dp_replicas = 1;
+  double dp_comm_ms = 0.0;
 
   double total_ms() const { return makespan_ms + optimizer_ms; }
   /// "Waiting & Pipeline Comm." under the fine-tune accounting.
@@ -148,6 +165,12 @@ class ModelParallelSimulator {
   /// off; with contention on, the engine queues the slices on explicit lane
   /// resources instead.
   double boundary_parallelism(int boundary) const;
+  /// DP-group shape on the cluster: how many of the dp peers share a node
+  /// (`intra`) and how many node islands the group spans (`inter`);
+  /// intra * inter == dp. Replicas are tp*pp-GPU blocks laid out
+  /// contiguously, so peers share a node only when the whole model-parallel
+  /// grid fits inside one.
+  void dp_group_shape(int* intra, int* inter) const;
 
   sim::ClusterSpec cluster_;
   nn::BertConfig model_;

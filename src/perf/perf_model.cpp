@@ -70,6 +70,27 @@ double speedup_cluster(const PerfModelParams& p, int64_t micro_batch, int64_t se
   return (occupancy * L * T + pipe) / (occupancy * L * T_ae + pipe_ae);
 }
 
+double iteration_time_3d(const PerfModelParams& p, const Analytic3dConfig& c) {
+  ACTCOMP_CHECK(c.pp >= 1 && c.dp >= 1 && c.layers >= 1 && c.num_micro >= 1 &&
+                    c.boundary_elems_per_ms > 0.0 && c.dp_elems_per_ms > 0.0,
+                "bad 3d config");
+  const double m = static_cast<double>(c.num_micro);
+  const double n = static_cast<double>(c.pp);
+  const double L = static_cast<double>(c.layers);
+  const double occupancy = (m - 1.0) / n + 1.0;
+  const double T = layer_time(p, c.micro_batch, c.seq, c.hidden);
+  const double act_elems = static_cast<double>(c.micro_batch) *
+                           static_cast<double>(c.seq) *
+                           static_cast<double>(c.hidden);
+  const double pipe = 2.0 * (n - 1.0) * act_elems / c.boundary_elems_per_ms;
+  double dp_ms = 0.0;
+  if (c.dp > 1) {
+    const double d = static_cast<double>(c.dp);
+    dp_ms = 2.0 * (d - 1.0) / d * c.grad_elems_per_rank / c.dp_elems_per_ms;
+  }
+  return occupancy * L * T + pipe + dp_ms;
+}
+
 // ---- simulator-ground-truth measurements ----
 
 namespace {

@@ -58,6 +58,39 @@ double speedup_cluster(const PerfModelParams& p, int64_t micro_batch, int64_t se
                        int64_t hidden, int64_t e, int64_t layers, int64_t nodes,
                        int64_t num_micro, double bandwidth_elems_per_ms);
 
+/// Shape of a dp x pp x tp configuration for the Eq. 3 extrapolation below.
+/// The tensor-parallel degree does not appear explicitly: α is fitted per
+/// rank at a given tp (fit_perf_model), so layer_time() already yields the
+/// per-rank stage time, and grad_elems_per_rank carries the 1/(tp·pp)
+/// parameter sharding.
+struct Analytic3dConfig {
+  int64_t micro_batch = 1;
+  int64_t seq = 1;
+  int64_t hidden = 1;
+  int64_t layers = 1;
+  int64_t num_micro = 1;
+  int pp = 1;  ///< pipeline stages
+  int dp = 1;  ///< data-parallel replicas of the tp*pp grid
+  /// Pipeline-boundary p2p bandwidth, activation elements/ms.
+  double boundary_elems_per_ms = 1.0;
+  /// Gradient all-reduce bandwidth on the DP group's bottleneck link,
+  /// elements/ms.
+  double dp_elems_per_ms = 1.0;
+  /// Gradient elements all-reduced per rank (parameters / (tp·pp)).
+  double grad_elems_per_rank = 0.0;
+};
+
+/// §4.7's Eq. 3 extrapolated to the full 3D grid: analytic per-iteration
+/// time in ms. The pipeline term is Eq. 3's occupancy form
+/// ((m−1)/pp + 1)·L·T plus fill+drain boundary transfers in BOTH
+/// directions (2·(pp−1)·B·s·h/w); the data-parallel term is a flat ring
+/// all-reduce of the per-rank gradient shard, 2·(dp−1)/dp·G/w_dp, appended
+/// un-overlapped. The simulator (bench/ablation_3d) deviates from this by
+/// exactly the effects the closed form ignores: non-uniform warmup/drain
+/// structure, hierarchical all-reduce latency savings, and backward-overlap
+/// of the gradient traffic.
+double iteration_time_3d(const PerfModelParams& p, const Analytic3dConfig& c);
+
 // ---- "measurements" (simulator ground truth) ----
 
 /// Single-layer measurements at tensor-parallel degree `tp` on `cluster`,

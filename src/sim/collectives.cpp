@@ -24,6 +24,40 @@ double allgather_ms(int64_t bytes_per_rank, int ranks, const LinkSpec& link) {
   return volume_ms + latency_ms;
 }
 
+double reduce_scatter_ms(int64_t bytes, int ranks, const LinkSpec& link) {
+  ACTCOMP_CHECK(ranks >= 1 && bytes >= 0, "bad reduce_scatter args");
+  if (ranks == 1 || bytes == 0) return 0.0;
+  const double n = static_cast<double>(ranks);
+  const double volume_ms = (n - 1.0) / n * static_cast<double>(bytes) /
+                           (link.bandwidth_gb_s * 1e9) * 1e3;
+  const double latency_ms = (n - 1.0) * link.latency_us * 1e-3;
+  return volume_ms + latency_ms;
+}
+
+double hierarchical_allreduce_ms(int64_t bytes, int intra_ranks,
+                                 int inter_ranks, const LinkSpec& intra,
+                                 const LinkSpec& inter) {
+  ACTCOMP_CHECK(intra_ranks >= 1 && inter_ranks >= 1 && bytes >= 0,
+                "bad hierarchical_allreduce args");
+  if (bytes == 0 || (intra_ranks == 1 && inter_ranks == 1)) return 0.0;
+  if (intra_ranks == 1) return allreduce_ms(bytes, inter_ranks, inter);
+  if (inter_ranks == 1) return allreduce_ms(bytes, intra_ranks, intra);
+  // The shard crossing the spine is S/a; computed in doubles so the phase
+  // costs compose exactly (no int truncation when a does not divide S).
+  const double a = static_cast<double>(intra_ranks);
+  const double b = static_cast<double>(inter_ranks);
+  const double s = static_cast<double>(bytes);
+  const double intra_bw = intra.bandwidth_gb_s * 1e9;
+  const double inter_bw = inter.bandwidth_gb_s * 1e9;
+  const double rs_ms = (a - 1.0) / a * s / intra_bw * 1e3 +
+                       (a - 1.0) * intra.latency_us * 1e-3;
+  const double ar_ms = 2.0 * (b - 1.0) / b * (s / a) / inter_bw * 1e3 +
+                       2.0 * (b - 1.0) * inter.latency_us * 1e-3;
+  const double ag_ms = (a - 1.0) * (s / a) / intra_bw * 1e3 +
+                       (a - 1.0) * intra.latency_us * 1e-3;
+  return rs_ms + ar_ms + ag_ms;
+}
+
 double p2p_ms(int64_t bytes, const LinkSpec& link) {
   ACTCOMP_CHECK(bytes >= 0, "negative p2p bytes");
   if (bytes == 0) return 0.0;

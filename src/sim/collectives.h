@@ -1,11 +1,20 @@
 // Collective-communication cost models (ring algorithms, as in NCCL).
 //
-//   all-reduce  : 2·(n−1)/n · S / BW + 2·(n−1)·α      (ring, reduce+broadcast)
-//   all-gather  : (n−1)/n · n·S_rank / BW + (n−1)·α = (n−1)·S_rank/BW + …
-//   p2p         : α + S / BW
+//   all-reduce     : 2·(n−1)/n · S / BW + 2·(n−1)·α   (ring, reduce+broadcast)
+//   all-gather     : (n−1)/n · n·S_rank / BW + (n−1)·α = (n−1)·S_rank/BW + …
+//   reduce-scatter : (n−1)/n · S / BW + (n−1)·α
+//   p2p            : α + S / BW
 //
 // These are the standard alpha-beta ring bounds; NCCL approaches them for
 // the MB-scale messages the paper communicates.
+//
+// hierarchical_allreduce_ms composes them the way NCCL trees a multi-node
+// job: reduce-scatter inside each node island, ring all-reduce of the 1/a
+// shard across one rank per node, all-gather inside the island. Its volume
+// term is algebraically identical to the flat ring over a·b ranks
+// (2·(ab−1)/(ab)·S/BW when both links are equal) while its latency term is
+// 2·(a+b−2)·α instead of 2·(ab−1)·α — the whole point of hierarchy at
+// datacenter scale (tests/topology_test.cpp pins both properties).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,19 @@ double allreduce_ms(int64_t bytes, int ranks, const LinkSpec& link);
 
 /// Ring all-gather where each rank contributes `bytes_per_rank`.
 double allgather_ms(int64_t bytes_per_rank, int ranks, const LinkSpec& link);
+
+/// Ring reduce-scatter of `bytes` over `ranks` peers: each rank ends up
+/// owning a reduced 1/ranks shard.
+double reduce_scatter_ms(int64_t bytes, int ranks, const LinkSpec& link);
+
+/// Hierarchical all-reduce of `bytes` over `intra_ranks` GPUs per node ×
+/// `inter_ranks` nodes: reduce-scatter over `intra` inside the island, ring
+/// all-reduce of the shard over `inter` across one leader per node, then
+/// all-gather over `intra`. Either factor may be 1 (degenerates to the flat
+/// ring over the other link).
+double hierarchical_allreduce_ms(int64_t bytes, int intra_ranks,
+                                 int inter_ranks, const LinkSpec& intra,
+                                 const LinkSpec& inter);
 
 /// Point-to-point send of `bytes`.
 double p2p_ms(int64_t bytes, const LinkSpec& link);

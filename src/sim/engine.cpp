@@ -1,8 +1,8 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
-#include <queue>
 
 #include "tensor/check.h"
 
@@ -21,7 +21,7 @@ int Engine::add_op(int resource, double duration_ms) {
                 "op duration must be finite and non-negative, got "
                     << duration_ms);
   const int id = num_ops();
-  ops_.push_back({resource, duration_ms, {}});
+  ops_.push_back({resource, duration_ms});
   resources_[static_cast<size_t>(resource)].ops.push_back(id);
   return id;
 }
@@ -30,84 +30,407 @@ void Engine::add_dep(int op, int dep) {
   ACTCOMP_CHECK(op >= 0 && op < num_ops() && dep >= 0 && dep < num_ops(),
                 "add_dep(" << op << ", " << dep << ") out of range");
   ACTCOMP_CHECK(op != dep, "op " << op << " cannot depend on itself");
-  ops_[static_cast<size_t>(op)].deps.push_back(dep);
+  dep_edges_.emplace_back(op, dep);
 }
 
-std::vector<OpTiming> Engine::run() const {
-  const size_t n = ops_.size();
-  std::vector<OpTiming> times(n);
-  std::vector<int> deps_left(n, 0);
-  std::vector<std::vector<int>> dependents(n);
-  for (size_t i = 0; i < n; ++i) {
-    deps_left[i] = static_cast<int>(ops_[i].deps.size());
-    for (int d : ops_[i].deps) dependents[static_cast<size_t>(d)].push_back(static_cast<int>(i));
+void Engine::reserve(size_t num_ops, size_t num_deps) {
+  ops_.reserve(num_ops);
+  dep_edges_.reserve(num_deps);
+}
+
+namespace {
+
+/// Completion event: processed in (time, op id) order — the heap's strict
+/// weak ordering, which (ids being unique) is total, so the pop sequence is
+/// the same for any push order and the engine stays deterministic.
+struct Event {
+  double time_ms;
+  int op;
+};
+
+inline bool event_less(const Event& a, const Event& b) {
+  if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+  return a.op < b.op;
+}
+
+/// Indexed 4-ary min-heap over a preallocated flat array. 4-ary rather than
+/// binary: half the tree depth per pop and child groups share a cache line,
+/// which is what the 1M-event graphs in bench/engine_bench are sensitive to.
+class EventHeap {
+ public:
+  explicit EventHeap(size_t capacity) { heap_.reserve(capacity); }
+
+  bool empty() const { return heap_.empty(); }
+  const Event& top() const { return heap_.front(); }
+
+  void push(Event e) {
+    size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const size_t parent = (i - 1) / 4;
+      if (!event_less(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
   }
 
-  struct ResourceState {
-    size_t next = 0;  ///< program-order cursor (kProgramOrder)
-    int busy = 0;     ///< ops in flight
-    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
-  };
-  std::vector<ResourceState> state(resources_.size());
+  void pop() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    const size_t n = heap_.size();
+    size_t i = 0;
+    while (true) {
+      const size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      const size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+      size_t best = first_child;
+      for (size_t c = first_child + 1; c < last_child; ++c) {
+        if (event_less(heap_[c], heap_[best])) best = c;
+      }
+      if (!event_less(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+ private:
+  std::vector<Event> heap_;
+};
+
+/// Per-resource binary min-heap of ready op ids (kReadyOrder with a finite
+/// lane pool), intrusively stored: each resource owns a slice of ids managed
+/// as an implicit heap in its own vector, preallocated on first use.
+inline void ready_push(std::vector<int>& h, int id) {
+  size_t i = h.size();
+  h.push_back(id);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (h[parent] <= h[i]) break;
+    std::swap(h[i], h[parent]);
+    i = parent;
+  }
+}
+
+inline int ready_pop(std::vector<int>& h) {
+  const int top = h.front();
+  h.front() = h.back();
+  h.pop_back();
+  const size_t n = h.size();
+  size_t i = 0;
+  while (true) {
+    const size_t l = 2 * i + 1;
+    if (l >= n) break;
+    const size_t r = l + 1;
+    const size_t best = (r < n && h[r] < h[l]) ? r : l;
+    if (h[i] <= h[best]) break;
+    std::swap(h[i], h[best]);
+    i = best;
+  }
+  return top;
+}
+
+}  // namespace
+
+std::vector<OpTiming> Engine::run() const {
+  // Work-conserving resources with a finite lane pool (kReadyOrder,
+  // capacity > 0) pick which op runs next based on what is ready *now*, so
+  // they need globally time-ordered event processing. Everything else —
+  // program-order resources of any capacity and uncontended (capacity-0)
+  // links — realizes start times that are a pure function of the graph:
+  // start = max(deps' ends, resource serialization constraint). For those
+  // graphs run() uses an O(ops + edges) longest-path relaxation with no
+  // event heap at all (run_relaxed()); the computed times are bit-identical
+  // because both paths evaluate the same max/+ arithmetic over the same
+  // values (tests/engine_test.cpp pins this against run_reference()).
+  bool needs_events = false;
+  for (const ResourceNode& r : resources_) {
+    if (r.policy == ExecPolicy::kReadyOrder && r.capacity > 0) {
+      needs_events = true;
+      break;
+    }
+  }
+  return needs_events ? run_events() : run_relaxed();
+}
+
+std::vector<OpTiming> Engine::run_events() const {
+  const size_t n = ops_.size();
+  const size_t e = dep_edges_.size();
+  std::vector<OpTiming> times(n);
+
+  // CSR adjacency dep -> dependents, built by counting sort: O(n + e), three
+  // flat arrays, no per-op allocations.
+  std::vector<int> deps_left(n, 0);
+  std::vector<int> dep_off(n + 1, 0);
+  for (const auto& [op, dep] : dep_edges_) {
+    ++deps_left[static_cast<size_t>(op)];
+    ++dep_off[static_cast<size_t>(dep) + 1];
+  }
+  for (size_t i = 0; i < n; ++i) dep_off[i + 1] += dep_off[i];
+  std::vector<int> dep_adj(e);
+  {
+    std::vector<int> cursor(dep_off.begin(), dep_off.end() - 1);
+    for (const auto& [op, dep] : dep_edges_) {
+      dep_adj[static_cast<size_t>(cursor[static_cast<size_t>(dep)]++)] = op;
+    }
+  }
+
+  // Flat per-resource state. Ready heaps exist only for finite-capacity
+  // kReadyOrder resources; capacity-0 ones start ready ops immediately (all
+  // starts at one timestamp realize the same times, and the event heap's
+  // (time, id) order makes the processing sequence independent of push
+  // order, so this is exactly the reference semantics without the queue
+  // round-trip).
+  const size_t nr = resources_.size();
+  std::vector<size_t> next(nr, 0);  ///< program-order cursor (kProgramOrder)
+  std::vector<int> busy(nr, 0);     ///< ops in flight
+  std::vector<std::vector<int>> ready_heap(nr);
   std::vector<char> is_ready(n, 0);
 
-  // Completion events, processed in (time, op id) order for determinism.
-  using Event = std::pair<double, int>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  EventHeap events(n);
   size_t finished = 0;
+  double now = 0.0;
 
-  auto start_op = [&](int id, double now) {
+  auto start_op = [&](int id) {
     const OpNode& op = ops_[static_cast<size_t>(id)];
     times[static_cast<size_t>(id)] = {now, now + op.duration_ms};
-    ++state[static_cast<size_t>(op.resource)].busy;
+    ++busy[static_cast<size_t>(op.resource)];
     events.push({now + op.duration_ms, id});
   };
 
-  auto dispatch = [&](int res, double now) {
+  auto dispatch = [&](int res) {
     const ResourceNode& r = resources_[static_cast<size_t>(res)];
-    ResourceState& s = state[static_cast<size_t>(res)];
     if (r.policy == ExecPolicy::kProgramOrder) {
-      while (s.next < r.ops.size() &&
-             is_ready[static_cast<size_t>(r.ops[s.next])] &&
-             (r.capacity == 0 || s.busy < r.capacity)) {
-        start_op(r.ops[s.next], now);
-        ++s.next;
+      size_t& cur = next[static_cast<size_t>(res)];
+      while (cur < r.ops.size() &&
+             is_ready[static_cast<size_t>(r.ops[cur])] &&
+             (r.capacity == 0 || busy[static_cast<size_t>(res)] < r.capacity)) {
+        start_op(r.ops[cur]);
+        ++cur;
       }
     } else {
-      while (!s.ready.empty() && (r.capacity == 0 || s.busy < r.capacity)) {
-        const int id = s.ready.top();
-        s.ready.pop();
-        start_op(id, now);
+      std::vector<int>& heap = ready_heap[static_cast<size_t>(res)];
+      while (!heap.empty() && busy[static_cast<size_t>(res)] < r.capacity) {
+        start_op(ready_pop(heap));
       }
+    }
+  };
+
+  // Dirty-resource worklist: a completion dirties the freed resource plus
+  // every resource that gained a ready op; each is dispatched once per event
+  // instead of once per dependent (dispatch is idempotent between state
+  // changes, so deduplication cannot alter any start time).
+  std::vector<int> dirty;
+  dirty.reserve(nr);
+  std::vector<char> is_dirty(nr, 0);
+  auto mark_dirty = [&](int res) {
+    if (!is_dirty[static_cast<size_t>(res)]) {
+      is_dirty[static_cast<size_t>(res)] = 1;
+      dirty.push_back(res);
     }
   };
 
   auto mark_ready = [&](int id) {
     is_ready[static_cast<size_t>(id)] = 1;
     const int res = ops_[static_cast<size_t>(id)].resource;
-    if (resources_[static_cast<size_t>(res)].policy == ExecPolicy::kReadyOrder) {
-      state[static_cast<size_t>(res)].ready.push(id);
+    const ResourceNode& r = resources_[static_cast<size_t>(res)];
+    if (r.policy == ExecPolicy::kReadyOrder) {
+      if (r.capacity == 0) {
+        start_op(id);  // unlimited lanes: no queueing, start at `now`
+        return;
+      }
+      std::vector<int>& heap = ready_heap[static_cast<size_t>(res)];
+      if (heap.empty()) heap.reserve(r.ops.size());
+      ready_push(heap, id);
     }
+    mark_dirty(res);
   };
 
   for (size_t i = 0; i < n; ++i) {
     if (deps_left[i] == 0) mark_ready(static_cast<int>(i));
   }
-  for (int r = 0; r < num_resources(); ++r) dispatch(r, 0.0);
+  for (int r = 0; r < static_cast<int>(nr); ++r) mark_dirty(r);
+  for (int r : dirty) {
+    is_dirty[static_cast<size_t>(r)] = 0;
+    dispatch(r);
+  }
+  dirty.clear();
 
   while (!events.empty()) {
-    const auto [now, id] = events.top();
+    const Event ev = events.top();
     events.pop();
+    now = ev.time_ms;
+    const int id = ev.op;
     ++finished;
-    --state[static_cast<size_t>(ops_[static_cast<size_t>(id)].resource)].busy;
-    for (int d : dependents[static_cast<size_t>(id)]) {
+    const int freed = ops_[static_cast<size_t>(id)].resource;
+    --busy[static_cast<size_t>(freed)];
+    mark_dirty(freed);
+    for (int k = dep_off[static_cast<size_t>(id)];
+         k < dep_off[static_cast<size_t>(id) + 1]; ++k) {
+      const int d = dep_adj[static_cast<size_t>(k)];
       if (--deps_left[static_cast<size_t>(d)] == 0) mark_ready(d);
     }
-    // Re-dispatch the freed resource and every resource that gained a ready
-    // op (dispatch is idempotent, so duplicates are harmless).
-    dispatch(ops_[static_cast<size_t>(id)].resource, now);
-    for (int d : dependents[static_cast<size_t>(id)]) {
-      dispatch(ops_[static_cast<size_t>(d)].resource, now);
+    for (size_t w = 0; w < dirty.size(); ++w) {
+      const int res = dirty[w];
+      is_dirty[static_cast<size_t>(res)] = 0;
+      dispatch(res);
+    }
+    dirty.clear();
+  }
+
+  ACTCOMP_ASSERT(finished == n, "engine deadlocked with " << n - finished
+                                                          << " ops unreachable");
+  return times;
+}
+
+namespace {
+
+/// Min-heap of the `cap` largest completion times on a kProgramOrder
+/// resource with capacity > 1: its top is the time the oldest of the `cap`
+/// most recent lanes frees, i.e. the lane constraint for the next op.
+inline void lane_push(std::vector<double>& h, double end_ms, int cap) {
+  if (static_cast<int>(h.size()) < cap) {
+    h.push_back(end_ms);
+    std::push_heap(h.begin(), h.end(), std::greater<double>());
+  } else if (end_ms > h.front()) {
+    std::pop_heap(h.begin(), h.end(), std::greater<double>());
+    h.back() = end_ms;
+    std::push_heap(h.begin(), h.end(), std::greater<double>());
+  }
+}
+
+}  // namespace
+
+std::vector<OpTiming> Engine::run_relaxed() const {
+  // Longest-path relaxation. With no finite-capacity kReadyOrder resource in
+  // the graph there is no dynamic "which ready op grabs the free lane"
+  // choice, so each start time is a closed-form max:
+  //   * any op:                    >= max over deps of the dep's end;
+  //   * kProgramOrder, capacity 0: >= previous op's start (starts are issued
+  //     in program order);
+  //   * kProgramOrder, capacity 1: >= previous op's end (ends are monotone
+  //     on a single lane, so this subsumes the start constraint);
+  //   * kProgramOrder, capacity N: >= previous op's start and >= the N-th
+  //     largest end among earlier ops on the resource (the time the in-
+  //     flight count drops below N once all earlier ops have started);
+  //   * kReadyOrder, capacity 0:   no resource constraint (pure delay).
+  // Every bound is a max of values the event executor also realizes (ends,
+  // starts, 0), and end = start + duration, so the times are bit-identical
+  // to run_events()/run_reference() — without any heap: O(ops + edges)
+  // total, processed from an unordered worklist (the result is a pure
+  // function of the graph, so processing order is irrelevant).
+  const size_t n = ops_.size();
+  const size_t e = dep_edges_.size();
+  std::vector<OpTiming> times(n);
+
+  /// Fused per-op pending state: the dependents loop is the hot path (one
+  /// scattered access per edge), so the remaining-deps counter and the
+  /// running max of finished deps' ends share a cache line. ready_ms is
+  /// final once left hits 0, so no op->deps adjacency is needed.
+  struct Pending {
+    double ready_ms = 0.0;
+    int left = 0;
+  };
+  std::vector<Pending> pend(n);
+  std::vector<int> dep_off(n + 1, 0);
+  for (const auto& [op, dep] : dep_edges_) {
+    ++pend[static_cast<size_t>(op)].left;
+    ++dep_off[static_cast<size_t>(dep) + 1];
+  }
+  for (size_t i = 0; i < n; ++i) dep_off[i + 1] += dep_off[i];
+  std::vector<int> dep_adj(e);
+  // Scatter through dep_off itself (each slot ends one past its row), then
+  // shift the offsets back down — saves the usual cursor-array copy.
+  for (const auto& [op, dep] : dep_edges_) {
+    dep_adj[static_cast<size_t>(dep_off[static_cast<size_t>(dep)]++)] = op;
+  }
+  for (size_t i = n; i > 0; --i) dep_off[i] = dep_off[i - 1];
+  dep_off[0] = 0;
+
+  const size_t nr = resources_.size();
+  std::vector<size_t> cursor(nr, 0);        ///< program-order position
+  std::vector<double> last_start(nr, 0.0);  ///< kProgramOrder cap != 1
+  std::vector<double> last_end(nr, 0.0);    ///< kProgramOrder cap == 1
+  std::vector<std::vector<double>> lanes(nr);  ///< kProgramOrder cap > 1
+
+  std::vector<int> work;
+  work.reserve(n);
+  // An op enters the worklist when its deps are done AND (for kProgramOrder)
+  // every earlier op on its resource has been processed — each op is pushed
+  // exactly once, by whichever of the two conditions becomes true last.
+  // Seed by resource: a program-order resource can only offer its first op,
+  // a ready-order (capacity-0) one offers every zero-dep op it owns.
+  for (const ResourceNode& r : resources_) {
+    if (r.policy == ExecPolicy::kProgramOrder) {
+      if (!r.ops.empty() && pend[static_cast<size_t>(r.ops[0])].left == 0) {
+        work.push_back(r.ops[0]);
+      }
+    } else {
+      for (int id : r.ops) {
+        if (pend[static_cast<size_t>(id)].left == 0) work.push_back(id);
+      }
+    }
+  }
+
+  size_t finished = 0;
+  while (!work.empty()) {
+    int id = work.back();
+    work.pop_back();
+    // Inner loop: when the op just processed unblocks its program-order
+    // successor, chain to it directly — long same-resource runs (a stage's
+    // micro-batch train) execute with the resource state hot instead of
+    // round-tripping through the worklist.
+    for (;;) {
+      const OpNode& op = ops_[static_cast<size_t>(id)];
+      const size_t res = static_cast<size_t>(op.resource);
+      const ResourceNode& r = resources_[res];
+
+      double start = pend[static_cast<size_t>(id)].ready_ms;
+      int chained = -1;
+      const double dur = op.duration_ms;
+      if (r.policy == ExecPolicy::kProgramOrder) {
+        if (r.capacity == 1) {
+          if (last_end[res] > start) start = last_end[res];
+          last_end[res] = start + dur;
+        } else {
+          if (last_start[res] > start) start = last_start[res];
+          if (r.capacity > 1) {
+            const std::vector<double>& h = lanes[res];
+            if (static_cast<int>(h.size()) == r.capacity && h.front() > start) {
+              start = h.front();
+            }
+            lane_push(lanes[res], start + dur, r.capacity);
+          }
+          last_start[res] = start;
+        }
+        size_t& cur = cursor[res];
+        ++cur;
+        if (cur < r.ops.size()) {
+          const int nxt = r.ops[cur];
+          if (pend[static_cast<size_t>(nxt)].left == 0) chained = nxt;
+        }
+      }
+      const double end = start + dur;
+      times[static_cast<size_t>(id)] = {start, end};
+      ++finished;
+
+      for (int k = dep_off[static_cast<size_t>(id)];
+           k < dep_off[static_cast<size_t>(id) + 1]; ++k) {
+        const int d = dep_adj[static_cast<size_t>(k)];
+        Pending& pd = pend[static_cast<size_t>(d)];
+        if (end > pd.ready_ms) pd.ready_ms = end;
+        if (--pd.left == 0) {
+          const size_t dres =
+              static_cast<size_t>(ops_[static_cast<size_t>(d)].resource);
+          const ResourceNode& rd = resources_[dres];
+          if (rd.policy == ExecPolicy::kReadyOrder ||
+              rd.ops[cursor[dres]] == d) {
+            work.push_back(d);
+          }
+        }
+      }
+
+      if (chained < 0) break;
+      id = chained;
     }
   }
 

@@ -19,9 +19,28 @@
 //     late arrival runs the next op whose inputs are already present.
 //
 // run() is deterministic: events are processed in (time, op id) order.
+//
+// Scale: the engine is sized for datacenter-scale DP x TP x PP graphs
+// (millions of ops per run). run() picks between two executors:
+//   * run_relaxed() — when no resource is work-conserving with a finite lane
+//     pool, every start time is a pure function of the graph (longest-path
+//     relaxation over deps + per-resource serialization), so the DAG is
+//     evaluated in O(ops + edges) with no event heap at all. This covers
+//     every overlap-off pipeline graph the golden tables run.
+//   * run_events() — the general discrete-event core: dependency edges in
+//     one CSR adjacency, completion events in an indexed 4-ary heap with
+//     O(log n) push/pop, and each completion touches only the resources it
+//     dirtied (an explicit worklist), never a linear scan over all
+//     resources.
+// Both realize identical times (same max/+ arithmetic over the same values).
+// The pre-refactor dispatch loop is preserved verbatim as run_reference()
+// (sim/engine_reference.cpp) so property tests and bench/engine_bench can
+// pin both paths' makespans and measure their speedup.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace actcomp::sim {
@@ -47,8 +66,13 @@ class Engine {
   /// Declares that `op` cannot start before `dep` has finished.
   void add_dep(int op, int dep);
 
+  /// Grows the op/edge arrays up front (optional; purely a performance hint
+  /// for graph builders that know their size, e.g. the 3D pipeline).
+  void reserve(size_t num_ops, size_t num_deps);
+
   int num_ops() const { return static_cast<int>(ops_.size()); }
   int num_resources() const { return static_cast<int>(resources_.size()); }
+  int num_deps() const { return static_cast<int>(dep_edges_.size()); }
 
   /// Introspection for accounting and property tests (realized times come
   /// from run()). Throw std::out_of_range on bad ids.
@@ -65,11 +89,22 @@ class Engine {
   /// cycle, or a kProgramOrder resource whose next op waits on a later one).
   std::vector<OpTiming> run() const;
 
+  /// The pre-refactor dispatch loop, kept verbatim as a reference
+  /// implementation (sim/engine_reference.cpp). Test/bench use only: the
+  /// randomized-DAG property suite pins run() == run_reference() and
+  /// bench/engine_bench reports run()'s events/sec speedup over it.
+  std::vector<OpTiming> run_reference() const;
+
  private:
+  /// General discrete-event executor (heap-based); handles every policy.
+  std::vector<OpTiming> run_events() const;
+  /// Heap-free longest-path relaxation; valid only when no resource is
+  /// kReadyOrder with capacity > 0 (run() checks and routes).
+  std::vector<OpTiming> run_relaxed() const;
+
   struct OpNode {
     int resource = 0;
     double duration_ms = 0.0;
-    std::vector<int> deps;
   };
   struct ResourceNode {
     int capacity = 0;
@@ -79,6 +114,10 @@ class Engine {
 
   std::vector<OpNode> ops_;
   std::vector<ResourceNode> resources_;
+  /// Dependency edges (op, dep) in declaration order; run() builds the CSR
+  /// adjacency from this flat list in O(ops + edges) with no per-op
+  /// allocations.
+  std::vector<std::pair<int, int>> dep_edges_;
 };
 
 }  // namespace actcomp::sim

@@ -1,8 +1,77 @@
 #include "sim/hardware.h"
 
+#include <cmath>
+#include <stdexcept>
+
 #include "tensor/check.h"
 
 namespace actcomp::sim {
+
+int TopologySpec::tiers(int nodes) const {
+  ACTCOMP_CHECK(nodes >= 1, "TopologySpec: nodes must be >= 1, got " << nodes);
+  if (spine == Spine::kFlat || nodes <= 1) return 1;
+  // One tier per factor-of-16 fan-out: 2..16 nodes share a leaf (1 tier),
+  // 17..256 add a spine tier, 257..4096 an aggregation tier, and so on.
+  int t = 0;
+  long long reach = 1;
+  while (reach < nodes) {
+    reach *= 16;
+    ++t;
+  }
+  return t;
+}
+
+LinkSpec TopologySpec::cross_node(const LinkSpec& inter, int nodes) const {
+  if (spine == Spine::kFlat) return inter;
+  LinkSpec l = inter;
+  l.latency_us = inter.latency_us * static_cast<double>(tiers(nodes));
+  if (spine == Spine::kOversubscribed && nodes > 16) {
+    // Traffic stays under one leaf switch up to the radix; beyond it the
+    // uplinks are the bottleneck.
+    l.bandwidth_gb_s = inter.bandwidth_gb_s / oversubscription;
+  }
+  return l;
+}
+
+LinkSpec ClusterSpec::link_between(int nodes_spanned) const {
+  ACTCOMP_CHECK(nodes_spanned >= 1,
+                "ClusterSpec: nodes_spanned must be >= 1, got " << nodes_spanned);
+  if (nodes_spanned == 1) return intra_node;
+  return topology.cross_node(inter_node, nodes_spanned);
+}
+
+void ClusterSpec::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("ClusterSpec: " + msg);
+  };
+  if (num_nodes < 1) {
+    fail("num_nodes must be >= 1, got " + std::to_string(num_nodes));
+  }
+  if (gpus_per_node < 1) {
+    fail("gpus_per_node must be >= 1, got " + std::to_string(gpus_per_node));
+  }
+  if (!(intra_node.bandwidth_gb_s > 0.0) ||
+      !std::isfinite(intra_node.bandwidth_gb_s)) {
+    fail("intra_node.bandwidth_gb_s must be positive and finite, got " +
+         std::to_string(intra_node.bandwidth_gb_s));
+  }
+  if (!(inter_node.bandwidth_gb_s > 0.0) ||
+      !std::isfinite(inter_node.bandwidth_gb_s)) {
+    fail("inter_node.bandwidth_gb_s must be positive and finite, got " +
+         std::to_string(inter_node.bandwidth_gb_s));
+  }
+  if (intra_node.latency_us < 0.0 || inter_node.latency_us < 0.0) {
+    fail("link latency_us must be >= 0");
+  }
+  if (topology.oversubscription < 1.0 ||
+      !std::isfinite(topology.oversubscription)) {
+    fail("topology.oversubscription must be >= 1, got " +
+         std::to_string(topology.oversubscription));
+  }
+  if (!(gpu.peak_fp16_tflops > 0.0) || !(gpu.mfu > 0.0) || gpu.mfu > 1.0) {
+    fail("gpu peak/mfu must satisfy peak > 0 and 0 < mfu <= 1");
+  }
+}
 
 ClusterSpec ClusterSpec::aws_p3(int num_nodes) {
   ACTCOMP_CHECK(num_nodes >= 1, "need at least one node");
@@ -18,6 +87,7 @@ ClusterSpec ClusterSpec::aws_p3(int num_nodes) {
   // TP=4/PP=1 NVLink rows with its TP=1/PP=4 compute-only rows.
   c.intra_node = {.bandwidth_gb_s = 100.0, .latency_us = 8.0};
   c.inter_node = {.bandwidth_gb_s = 1.25, .latency_us = 50.0};  // 10 Gbps
+  c.validate();
   return c;
 }
 
@@ -31,6 +101,24 @@ ClusterSpec ClusterSpec::local_pcie() {
   // hardware.h header comment).
   c.intra_node = {.bandwidth_gb_s = 11.0, .latency_us = 15.0};
   c.inter_node = {.bandwidth_gb_s = 1.25, .latency_us = 50.0};
+  c.validate();
+  return c;
+}
+
+ClusterSpec ClusterSpec::datacenter(int num_nodes, TopologySpec::Spine spine,
+                                    double oversubscription) {
+  ClusterSpec c;
+  c.name = std::to_string(num_nodes) + "-node-datacenter";
+  c.num_nodes = num_nodes;
+  c.gpus_per_node = 8;
+  c.has_nvlink = true;
+  // 8-GPU NVLink island (same effective collective bandwidth calibration as
+  // aws_p3) under a 100 GbE leaf uplink (12.5 GB/s).
+  c.intra_node = {.bandwidth_gb_s = 100.0, .latency_us = 8.0};
+  c.inter_node = {.bandwidth_gb_s = 12.5, .latency_us = 20.0};
+  c.topology.spine = spine;
+  c.topology.oversubscription = oversubscription;
+  c.validate();
   return c;
 }
 

@@ -89,21 +89,62 @@ struct GpuSpec {
   }
 };
 
+/// Spine topology above the node-local islands. kFlat reproduces the
+/// original two-level ClusterSpec semantics exactly: inter_node is the only
+/// cross-node path and its LinkSpec is used as-is. The hierarchical spines
+/// model a datacenter fabric:
+///   * kFatTree — full-bisection Clos: per-node injection bandwidth is
+///     preserved at any scale, but each switch tier adds one inter_node
+///     latency (tiers = ceil(log_16 nodes), a 16-port leaf radix);
+///   * kOversubscribed — Ethernet spine whose uplinks are provisioned at
+///     1/oversubscription of the leaf bandwidth: cross-spine traffic sees
+///     inter_node bandwidth divided by the factor, same tier latency.
+struct TopologySpec {
+  enum class Spine { kFlat, kFatTree, kOversubscribed };
+  Spine spine = Spine::kFlat;
+  /// Uplink oversubscription factor (>= 1); only read for kOversubscribed.
+  double oversubscription = 1.0;
+
+  bool hierarchical() const { return spine != Spine::kFlat; }
+  /// Number of switch tiers a cross-node message traverses when `nodes`
+  /// nodes hang off the spine (1 tier per factor-of-16 fan-out; >= 1).
+  int tiers(int nodes) const;
+  /// The cross-node link a collective spanning `nodes` nodes observes:
+  /// `inter` itself for kFlat, otherwise bandwidth/latency adjusted per the
+  /// spine model above.
+  LinkSpec cross_node(const LinkSpec& inter, int nodes) const;
+};
+
 struct ClusterSpec {
   std::string name;
   int num_nodes = 1;
   int gpus_per_node = 4;
   bool has_nvlink = true;
   LinkSpec intra_node;  ///< GPU<->GPU inside one node
-  LinkSpec inter_node;  ///< node<->node network
+  LinkSpec inter_node;  ///< node<->node network (leaf uplink)
+  TopologySpec topology;  ///< spine above the nodes (default: flat)
   GpuSpec gpu;
 
   int total_gpus() const { return num_nodes * gpus_per_node; }
+
+  /// The link seen by traffic between two GPUs `nodes_spanned` nodes apart:
+  /// intra_node within an island, otherwise the spine-adjusted inter link.
+  LinkSpec link_between(int nodes_spanned) const;
+
+  /// Validates counts and link parameters; throws std::invalid_argument
+  /// with a "ClusterSpec: ..." message naming the offending field. Factories
+  /// validate on construction; call after mutating a spec by hand.
+  void validate() const;
 
   /// AWS p3.8xlarge: NVLink 40 GB/s intra, 10 Gbps (1.25 GB/s) inter.
   static ClusterSpec aws_p3(int num_nodes);
   /// Local server: 4 V100s behind one PCIe bridge, no NVLink.
   static ClusterSpec local_pcie();
+  /// Datacenter: 8-GPU NVLink islands under a 100 GbE spine. `spine`
+  /// selects fat-tree (full bisection) or oversubscribed uplinks.
+  static ClusterSpec datacenter(int num_nodes,
+                                TopologySpec::Spine spine = TopologySpec::Spine::kFatTree,
+                                double oversubscription = 1.0);
 };
 
 }  // namespace actcomp::sim

@@ -162,6 +162,16 @@ void validate_pipeline_inputs(const PipelineCosts& c,
        << " is only valid with ScheduleKind::kInterleaved1F1B";
     fail(os.str());
   }
+  if (c.dp.replicas < 1) {
+    os << "dp.replicas = " << c.dp.replicas << ", must be >= 1";
+    fail(os.str());
+  }
+  if (!c.dp.grad_allreduce_ms.empty() && c.dp.grad_allreduce_ms.size() != p) {
+    os << "dp.grad_allreduce_ms has " << c.dp.grad_allreduce_ms.size()
+       << " entries, expected stages = " << p << " (or empty)";
+    fail(os.str());
+  }
+  check_durations(c.dp.grad_allreduce_ms, "dp.grad_allreduce_ms");
 }
 
 PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
@@ -173,151 +183,231 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
                     ? options.virtual_stages
                     : 1;
 
+  const int dp_r = costs.dp.replicas;
+  const bool dp_active = dp_r > 1 && !costs.dp.grad_allreduce_ms.empty();
+
   FaultInjector inj(options.faults);
 
   Engine eng;
   const ExecPolicy stage_policy =
       options.overlap ? ExecPolicy::kReadyOrder : ExecPolicy::kProgramOrder;
-  std::vector<int> compute(static_cast<size_t>(p));
-  for (int s = 0; s < p; ++s) compute[static_cast<size_t>(s)] = eng.add_resource(1, stage_policy);
 
-  // One lane-pool resource per boundary and direction; capacity 0 (no
-  // contention) makes a transfer pure dependency delay, matching the
-  // original closed-form simulator.
-  std::vector<int> link_fwd(static_cast<size_t>(std::max(0, p - 1)));
-  std::vector<int> link_bwd = link_fwd;
-  for (int b = 0; b + 1 < p; ++b) {
-    const int lanes = costs.boundary_shape.empty()
-                          ? 0
-                          : costs.boundary_shape[static_cast<size_t>(b)].lanes;
-    link_fwd[static_cast<size_t>(b)] = eng.add_resource(lanes, ExecPolicy::kReadyOrder);
-    link_bwd[static_cast<size_t>(b)] = eng.add_resource(lanes, ExecPolicy::kReadyOrder);
-  }
-  int wrap_fwd = -1, wrap_bwd = -1;
-  if (v > 1) {
-    wrap_fwd = eng.add_resource(0, ExecPolicy::kReadyOrder);
-    wrap_bwd = eng.add_resource(0, ExecPolicy::kReadyOrder);
-  }
-
-  // Compute ops, created in per-stage program order (which is what a
-  // kProgramOrder resource executes and a kReadyOrder one prefers).
   auto idx = [&](int chunk, int stage, int micro) {
     return (static_cast<size_t>(chunk) * static_cast<size_t>(p) +
             static_cast<size_t>(stage)) *
                static_cast<size_t>(m) +
            static_cast<size_t>(micro);
   };
-  std::vector<int> id_f(static_cast<size_t>(v * p) * static_cast<size_t>(m), -1);
-  std::vector<int> id_b = id_f;
-  // Realized (fault-adjusted) compute time per stage, accumulated in program
-  // order. With faults disabled the multiplier is exactly 1.0, so these sums
-  // are bit-identical to summing the clean costs.
+
+  // Replica 0 keeps full op-id grids for the trace and the breakdown
+  // accounting; every replica keeps its backward grid (gradient all-reduce
+  // dependencies) and replicas > 0 additionally list their compute ops so
+  // the makespan can max over them. With dp.replicas == 1 the loop below
+  // runs once and issues exactly the pre-DP construction sequence — same
+  // resource ids, op ids, and fault-RNG draw order (the goldens pin this).
+  std::vector<int> id_f;
+  std::vector<std::vector<int>> rep_id_b(static_cast<size_t>(dp_r));
+  std::vector<int> secondary_compute;
+  // Realized (fault-adjusted) compute time per stage of replica 0,
+  // accumulated in program order. With faults disabled the multiplier is
+  // exactly 1.0, so these sums are bit-identical to summing the clean costs.
   std::vector<double> realized_busy(static_cast<size_t>(p), 0.0);
-  for (int s = 0; s < p; ++s) {
-    const auto prog = stage_program(s, p, v, m, options.schedule);
-    ACTCOMP_ASSERT(prog.size() == static_cast<size_t>(2 * m * v),
-                   "stage program must run every op exactly once");
-    for (const Step& st : prog) {
-      const double dur = (st.backward ? costs.bwd_ms[static_cast<size_t>(s)]
-                                      : costs.fwd_ms[static_cast<size_t>(s)]) /
-                         static_cast<double>(v) * inj.compute_multiplier(s);
-      auto& slot = (st.backward ? id_b : id_f)[idx(st.chunk, s, st.micro)];
-      ACTCOMP_ASSERT(slot == -1, "duplicate op in stage program");
-      slot = eng.add_op(compute[static_cast<size_t>(s)], dur);
-      realized_busy[static_cast<size_t>(s)] += dur;
-    }
-  }
+  int backoff_res = -1;
 
-  // Backoff delays between outage retries are pure waits — the link is free
-  // while a sender backs off — so they live on an unlimited no-op resource.
-  const int backoff_res =
-      inj.enabled() ? eng.add_resource(0, ExecPolicy::kReadyOrder) : -1;
-
-  // Transfers and dependencies. Comm op ids are collected alongside their
-  // labels so the trace can report them. Under fault injection a transfer
-  // becomes: [hung attempt (link, timeout) -> backoff (delay)]* -> transfer
-  // (link, degraded duration); only link-occupying ops are traced.
+  // Comm op ids are collected alongside their labels so the trace can
+  // report them (replica 0 only); fault counters sum over all replicas.
   std::vector<TraceComm> comm_meta;
   std::vector<int> comm_ids;
   int fault_retries = 0;
   double fault_retry_ms = 0.0, fault_backoff_ms = 0.0, fault_wrap_comm = 0.0;
   std::vector<double> fault_boundary_comm(static_cast<size_t>(std::max(0, p - 1)),
                                           0.0);
-  auto add_transfer = [&](int resource, double dur, int slices, int producer,
-                          int consumer, TraceComm label) {
-    const double fdur = dur * inj.transfer_multiplier(label.boundary);
-    for (int sl = 0; sl < slices; ++sl) {
-      label.slice = sl;
-      int prev = producer;
-      const int fails = inj.draw_outages(label.boundary);
-      for (int a = 1; a <= fails; ++a) {
-        const int hung = eng.add_op(resource, inj.attempt_timeout_ms());
-        eng.add_dep(hung, prev);
-        label.attempt = a - 1;
-        label.failed = true;
-        comm_ids.push_back(hung);
-        comm_meta.push_back(label);
-        const int wait = eng.add_op(backoff_res, inj.backoff_ms(a));
-        eng.add_dep(wait, hung);
-        prev = wait;
-        ++fault_retries;
-        fault_retry_ms += inj.attempt_timeout_ms();
-        fault_backoff_ms += inj.backoff_ms(a);
-      }
-      const int cid = eng.add_op(resource, fdur);
-      eng.add_dep(cid, prev);
-      eng.add_dep(consumer, cid);
-      label.attempt = fails;
-      label.failed = false;
-      comm_ids.push_back(cid);
-      comm_meta.push_back(label);
-      if (inj.enabled()) {
-        if (label.wrap) {
-          fault_wrap_comm += fdur;
+
+  for (int rep = 0; rep < dp_r; ++rep) {
+    const bool primary = rep == 0;
+    std::vector<int> compute(static_cast<size_t>(p));
+    for (int s = 0; s < p; ++s) compute[static_cast<size_t>(s)] = eng.add_resource(1, stage_policy);
+
+    // One lane-pool resource per boundary and direction; capacity 0 (no
+    // contention) makes a transfer pure dependency delay, matching the
+    // original closed-form simulator.
+    std::vector<int> link_fwd(static_cast<size_t>(std::max(0, p - 1)));
+    std::vector<int> link_bwd = link_fwd;
+    for (int b = 0; b + 1 < p; ++b) {
+      const int lanes = costs.boundary_shape.empty()
+                            ? 0
+                            : costs.boundary_shape[static_cast<size_t>(b)].lanes;
+      link_fwd[static_cast<size_t>(b)] = eng.add_resource(lanes, ExecPolicy::kReadyOrder);
+      link_bwd[static_cast<size_t>(b)] = eng.add_resource(lanes, ExecPolicy::kReadyOrder);
+    }
+    int wrap_fwd = -1, wrap_bwd = -1;
+    if (v > 1) {
+      wrap_fwd = eng.add_resource(0, ExecPolicy::kReadyOrder);
+      wrap_bwd = eng.add_resource(0, ExecPolicy::kReadyOrder);
+    }
+
+    // Compute ops, created in per-stage program order (which is what a
+    // kProgramOrder resource executes and a kReadyOrder one prefers).
+    std::vector<int> lid_f(static_cast<size_t>(v * p) * static_cast<size_t>(m), -1);
+    std::vector<int> lid_b = lid_f;
+    for (int s = 0; s < p; ++s) {
+      const auto prog = stage_program(s, p, v, m, options.schedule);
+      ACTCOMP_ASSERT(prog.size() == static_cast<size_t>(2 * m * v),
+                     "stage program must run every op exactly once");
+      for (const Step& st : prog) {
+        const double dur = (st.backward ? costs.bwd_ms[static_cast<size_t>(s)]
+                                        : costs.fwd_ms[static_cast<size_t>(s)]) /
+                           static_cast<double>(v) * inj.compute_multiplier(s);
+        auto& slot = (st.backward ? lid_b : lid_f)[idx(st.chunk, s, st.micro)];
+        ACTCOMP_ASSERT(slot == -1, "duplicate op in stage program");
+        slot = eng.add_op(compute[static_cast<size_t>(s)], dur);
+        if (primary) {
+          realized_busy[static_cast<size_t>(s)] += dur;
         } else {
-          fault_boundary_comm[static_cast<size_t>(label.boundary)] += fdur;
+          secondary_compute.push_back(slot);
         }
       }
     }
-  };
 
-  for (int c = 0; c < v; ++c) {
+    // Backoff delays between outage retries are pure waits — the link is
+    // free while a sender backs off — so they live on an unlimited no-op
+    // resource, shared across replicas.
+    if (primary && inj.enabled()) {
+      backoff_res = eng.add_resource(0, ExecPolicy::kReadyOrder);
+    }
+
+    // Transfers and dependencies. Under fault injection a transfer becomes:
+    // [hung attempt (link, timeout) -> backoff (delay)]* -> transfer (link,
+    // degraded duration); only link-occupying ops are traced.
+    auto add_transfer = [&](int resource, double dur, int slices, int producer,
+                            int consumer, TraceComm label) {
+      const double fdur = dur * inj.transfer_multiplier(label.boundary);
+      for (int sl = 0; sl < slices; ++sl) {
+        label.slice = sl;
+        int prev = producer;
+        const int fails = inj.draw_outages(label.boundary);
+        for (int a = 1; a <= fails; ++a) {
+          const int hung = eng.add_op(resource, inj.attempt_timeout_ms());
+          eng.add_dep(hung, prev);
+          label.attempt = a - 1;
+          label.failed = true;
+          if (primary) {
+            comm_ids.push_back(hung);
+            comm_meta.push_back(label);
+          }
+          const int wait = eng.add_op(backoff_res, inj.backoff_ms(a));
+          eng.add_dep(wait, hung);
+          prev = wait;
+          ++fault_retries;
+          fault_retry_ms += inj.attempt_timeout_ms();
+          fault_backoff_ms += inj.backoff_ms(a);
+        }
+        const int cid = eng.add_op(resource, fdur);
+        eng.add_dep(cid, prev);
+        eng.add_dep(consumer, cid);
+        label.attempt = fails;
+        label.failed = false;
+        if (primary) {
+          comm_ids.push_back(cid);
+          comm_meta.push_back(label);
+        }
+        if (inj.enabled()) {
+          if (label.wrap) {
+            fault_wrap_comm += fdur;
+          } else {
+            fault_boundary_comm[static_cast<size_t>(label.boundary)] += fdur;
+          }
+        }
+      }
+    };
+
+    for (int c = 0; c < v; ++c) {
+      for (int s = 0; s < p; ++s) {
+        for (int j = 0; j < m; ++j) {
+          const int f = lid_f[idx(c, s, j)];
+          const int b = lid_b[idx(c, s, j)];
+          if (s > 0) {
+            const int bd = s - 1;
+            const int slices =
+                costs.boundary_shape.empty()
+                    ? 1
+                    : costs.boundary_shape[static_cast<size_t>(bd)].slices;
+            add_transfer(link_fwd[static_cast<size_t>(bd)],
+                         costs.p2p_fwd_ms[static_cast<size_t>(bd)], slices,
+                         lid_f[idx(c, s - 1, j)], f,
+                         {bd, false, 0, c, j, false, 0.0, 0.0});
+          } else if (c > 0) {
+            add_transfer(wrap_fwd, costs.p2p_wrap_fwd_ms, 1,
+                         lid_f[idx(c - 1, p - 1, j)], f,
+                         {p - 1, true, 0, c, j, false, 0.0, 0.0});
+          }
+          if (s < p - 1) {
+            const int slices =
+                costs.boundary_shape.empty()
+                    ? 1
+                    : costs.boundary_shape[static_cast<size_t>(s)].slices;
+            add_transfer(link_bwd[static_cast<size_t>(s)],
+                         costs.p2p_bwd_ms[static_cast<size_t>(s)], slices,
+                         lid_b[idx(c, s + 1, j)], b,
+                         {s, false, 0, c, j, true, 0.0, 0.0});
+          } else if (c < v - 1) {
+            add_transfer(wrap_bwd, costs.p2p_wrap_bwd_ms, 1,
+                         lid_b[idx(c + 1, 0, j)], b,
+                         {p - 1, true, 0, c, j, true, 0.0, 0.0});
+          } else {
+            // Loss turnaround: the last chunk's backward follows its forward.
+            eng.add_dep(b, f);
+          }
+        }
+      }
+    }
+
+    if (primary) id_f = std::move(lid_f);
+    rep_id_b[static_cast<size_t>(rep)] = std::move(lid_b);
+  }
+  const std::vector<int>& id_b = rep_id_b[0];
+
+  // Gradient all-reduce tail: one op per (stage, model chunk) on a per-stage
+  // capacity-1 program-order DP link (all-reduces launch in a fixed bucket
+  // order, as NCCL does), depending on the bucket's backwards in every
+  // replica — every micro-batch's backward for that (stage, chunk), since a
+  // ready-order stage may realize them out of program order.
+  std::vector<int> ar_ids;
+  double dp_comm_total = 0.0;
+  if (dp_active) {
+    std::vector<int> dp_link(static_cast<size_t>(p));
     for (int s = 0; s < p; ++s) {
-      for (int j = 0; j < m; ++j) {
-        const int f = id_f[idx(c, s, j)];
-        const int b = id_b[idx(c, s, j)];
-        if (s > 0) {
-          const int bd = s - 1;
-          const int slices =
-              costs.boundary_shape.empty()
-                  ? 1
-                  : costs.boundary_shape[static_cast<size_t>(bd)].slices;
-          add_transfer(link_fwd[static_cast<size_t>(bd)],
-                       costs.p2p_fwd_ms[static_cast<size_t>(bd)], slices,
-                       id_f[idx(c, s - 1, j)], f,
-                       {bd, false, 0, c, j, false, 0.0, 0.0});
-        } else if (c > 0) {
-          add_transfer(wrap_fwd, costs.p2p_wrap_fwd_ms, 1,
-                       id_f[idx(c - 1, p - 1, j)], f,
-                       {p - 1, true, 0, c, j, false, 0.0, 0.0});
+      dp_link[static_cast<size_t>(s)] = eng.add_resource(1, ExecPolicy::kProgramOrder);
+    }
+    std::vector<int> sentinel(static_cast<size_t>(dp_r), -1);
+    if (!costs.dp.overlap_grads) {
+      // Synchronous DP: one zero-duration "backward pass done" sentinel per
+      // replica gates every all-reduce.
+      const int sync_res = eng.add_resource(0, ExecPolicy::kReadyOrder);
+      for (int rep = 0; rep < dp_r; ++rep) {
+        const int sen = eng.add_op(sync_res, 0.0);
+        for (int bid : rep_id_b[static_cast<size_t>(rep)]) eng.add_dep(sen, bid);
+        sentinel[static_cast<size_t>(rep)] = sen;
+      }
+    }
+    ar_ids.reserve(static_cast<size_t>(p) * static_cast<size_t>(v));
+    for (int s = 0; s < p; ++s) {
+      for (int c = 0; c < v; ++c) {
+        const double dur =
+            costs.dp.grad_allreduce_ms[static_cast<size_t>(s)] /
+            static_cast<double>(v);
+        const int ar = eng.add_op(dp_link[static_cast<size_t>(s)], dur);
+        for (int rep = 0; rep < dp_r; ++rep) {
+          if (costs.dp.overlap_grads) {
+            for (int j = 0; j < m; ++j) {
+              eng.add_dep(ar, rep_id_b[static_cast<size_t>(rep)][idx(c, s, j)]);
+            }
+          } else {
+            eng.add_dep(ar, sentinel[static_cast<size_t>(rep)]);
+          }
         }
-        if (s < p - 1) {
-          const int slices =
-              costs.boundary_shape.empty()
-                  ? 1
-                  : costs.boundary_shape[static_cast<size_t>(s)].slices;
-          add_transfer(link_bwd[static_cast<size_t>(s)],
-                       costs.p2p_bwd_ms[static_cast<size_t>(s)], slices,
-                       id_b[idx(c, s + 1, j)], b,
-                       {s, false, 0, c, j, true, 0.0, 0.0});
-        } else if (c < v - 1) {
-          add_transfer(wrap_bwd, costs.p2p_wrap_bwd_ms, 1,
-                       id_b[idx(c + 1, 0, j)], b,
-                       {p - 1, true, 0, c, j, true, 0.0, 0.0});
-        } else {
-          // Loss turnaround: the last chunk's backward follows its forward.
-          eng.add_dep(b, f);
-        }
+        ar_ids.push_back(ar);
+        dp_comm_total += dur;
       }
     }
   }
@@ -385,6 +475,16 @@ PipelineTrace simulate_pipeline_traced(const PipelineCosts& costs,
       r.makespan_ms = std::max(r.makespan_ms, times[static_cast<size_t>(id)].end_ms);
     }
   }
+  // Other replicas' compute and the gradient all-reduce tail extend the
+  // iteration; with dp.replicas == 1 both lists are empty.
+  for (int id : secondary_compute) {
+    r.makespan_ms = std::max(r.makespan_ms, times[static_cast<size_t>(id)].end_ms);
+  }
+  for (int id : ar_ids) {
+    r.makespan_ms = std::max(r.makespan_ms, times[static_cast<size_t>(id)].end_ms);
+  }
+  r.dp_replicas = dp_r;
+  r.dp_comm_ms = dp_comm_total;
   r.stage_idle_ms.resize(static_cast<size_t>(p));
   for (int s = 0; s < p; ++s) {
     r.stage_idle_ms[static_cast<size_t>(s)] =

@@ -52,6 +52,27 @@ struct PipelineCosts {
     int lanes = 1;
   };
   std::vector<LinkShape> boundary_shape;
+
+  /// Data-parallel axis: `replicas` identical copies of the pipeline train
+  /// on different data shards; each stage's gradient shard is all-reduced
+  /// across the replicas at the end of its backward work. With replicas == 1
+  /// this section is ignored entirely and the op graph built is
+  /// byte-identical to the pre-DP simulator (the golden tables pin this).
+  struct DataParallel {
+    int replicas = 1;
+    /// Per-stage, per-iteration gradient all-reduce duration (size = stages,
+    /// or empty for no DP communication). The caller prices it — typically
+    /// collectives::hierarchical_allreduce_ms over the DP group plus
+    /// compression encode/decode from sim/overhead.h. Interleaved schedules
+    /// split it evenly across the stage's model chunks.
+    std::vector<double> grad_allreduce_ms;
+    /// true: a (stage, chunk)'s all-reduce launches as soon as that chunk's
+    /// last backward finished in every replica (bucketed DDP overlap);
+    /// false: all all-reduces wait for the entire backward pass of every
+    /// replica (a synchronous comm phase appended to the iteration).
+    bool overlap_grads = true;
+  };
+  DataParallel dp;
 };
 
 struct PipelineOptions {
@@ -89,6 +110,13 @@ struct PipelineResult {
   int fault_retries = 0;        ///< hung transfer attempts injected
   double fault_retry_ms = 0.0;  ///< link time burned by hung attempts
   double fault_backoff_ms = 0.0;  ///< pure-delay backoff time injected
+
+  // Data-parallel accounting (dp_replicas == 1 on non-DP runs). makespan_ms
+  // includes the gradient all-reduce tail; the per-stage busy/idle arrays
+  // and the trace describe replica 0 (replicas are identical except for
+  // per-replica fault draws), while fault counters sum over all replicas.
+  int dp_replicas = 1;
+  double dp_comm_ms = 0.0;  ///< total gradient all-reduce link time
 };
 
 /// Throws std::invalid_argument with a precise message if the cost arrays

@@ -196,6 +196,71 @@ double makespan_of(const std::vector<sm::OpTiming>& t) {
 
 }  // namespace
 
+TEST(EngineProperty, RunMatchesReferenceOnRandomDags) {
+  // The refactored executor must realize the EXACT schedule of the preserved
+  // pre-refactor dispatch loop — bit-for-bit, not within tolerance: every
+  // golden table and trace is pinned to these times. The random generator's
+  // finite-capacity mixed-policy resources route run() through the
+  // event-heap path.
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    const RandomDag d = make_random_dag(seed);
+    for (const auto policy :
+         {sm::ExecPolicy::kProgramOrder, sm::ExecPolicy::kReadyOrder}) {
+      sm::Engine e;
+      for (int cap : d.capacities) e.add_resource(cap, policy);
+      for (const auto& op : d.ops) {
+        const int id = e.add_op(op.resource, op.duration);
+        for (int dep : op.deps) e.add_dep(id, dep);
+      }
+      const auto fast = e.run();
+      const auto ref = e.run_reference();
+      ASSERT_EQ(fast.size(), ref.size());
+      for (size_t i = 0; i < fast.size(); ++i) {
+        ASSERT_EQ(fast[i].start_ms, ref[i].start_ms) << "seed " << seed;
+        ASSERT_EQ(fast[i].end_ms, ref[i].end_ms) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(EngineProperty, RelaxedPathMatchesReference) {
+  // Graphs with no finite-capacity kReadyOrder resource take the heap-free
+  // longest-path relaxation (engine.cpp run_relaxed) — program-order lanes
+  // of any capacity plus capacity-0 ready-order links, the shape every
+  // overlap-off pipeline build produces. Same bit-for-bit contract.
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    std::mt19937_64 rng(seed * 7919);
+    auto uni = [&](int lo, int hi) {
+      return lo + static_cast<int>(rng() % static_cast<uint64_t>(hi - lo + 1));
+    };
+    sm::Engine e;
+    const int num_resources = uni(2, 6);
+    for (int r = 0; r < num_resources; ++r) {
+      if (rng() % 3 == 0) {
+        e.add_resource(0, sm::ExecPolicy::kReadyOrder);  // unlimited link
+      } else {
+        e.add_resource(uni(0, 3), sm::ExecPolicy::kProgramOrder);
+      }
+    }
+    const int num_ops = uni(5, 60);
+    for (int i = 0; i < num_ops; ++i) {
+      const int id = e.add_op(uni(0, num_resources - 1),
+                              0.5 + static_cast<double>(rng() % 1000) / 100.0);
+      if (i > 0) {
+        const int want = uni(0, 3);
+        for (int k = 0; k < want; ++k) e.add_dep(id, uni(0, i - 1));
+      }
+    }
+    const auto fast = e.run();
+    const auto ref = e.run_reference();
+    ASSERT_EQ(fast.size(), ref.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast[i].start_ms, ref[i].start_ms) << "seed " << seed;
+      ASSERT_EQ(fast[i].end_ms, ref[i].end_ms) << "seed " << seed;
+    }
+  }
+}
+
 TEST(EngineProperty, MakespanMonotoneInOpDurationUnderProgramOrder) {
   // Lengthening any single op never shortens a kProgramOrder schedule: with
   // the dispatch order fixed, every start time is a monotone function of

@@ -1,0 +1,317 @@
+// Tests for the datacenter-scale surface: hierarchical topologies
+// (sim/hardware.h TopologySpec), hierarchical all-reduce (sim/collectives.h),
+// the data-parallel axis of the pipeline simulator, and ClusterSpec input
+// validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "parallel/mp_simulator.h"
+#include "sim/collectives.h"
+#include "sim/hardware.h"
+#include "sim/pipeline.h"
+
+namespace sm = actcomp::sim;
+
+namespace {
+
+sm::LinkSpec link(double bw_gb_s, double lat_us) {
+  sm::LinkSpec l;
+  l.bandwidth_gb_s = bw_gb_s;
+  l.latency_us = lat_us;
+  return l;
+}
+
+}  // namespace
+
+// ---- hierarchical all-reduce ----
+
+TEST(Collectives, HierarchicalEqualsFlatRingAtZeroLatency) {
+  // RS(intra) + AR(inter, S/a) + AG(intra) moves exactly the flat ring's
+  // 2(ab-1)/(ab)·S volume, so with equal zero-latency links the two costs
+  // coincide (to FP tolerance) — the decomposition saves latency, never
+  // bandwidth.
+  const sm::LinkSpec l = link(12.5, 0.0);
+  const int64_t bytes = 1797558272;  // not divisible by every a, on purpose
+  for (int a : {2, 4, 8}) {
+    for (int b : {2, 3, 16, 64}) {
+      const double flat = sm::allreduce_ms(bytes, a * b, l);
+      const double hier = sm::hierarchical_allreduce_ms(bytes, a, b, l, l);
+      EXPECT_NEAR(hier, flat, flat * 1e-12) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Collectives, HierarchicalSavesExactlyTheLatencyDifference) {
+  // With equal links of latency α, flat pays 2(ab-1)α rounds but the
+  // hierarchical schedule only 2(a-1)α + 2(b-1)α = 2(a+b-2)α.
+  const sm::LinkSpec l = link(12.5, 20.0);
+  const int64_t bytes = 1 << 28;
+  for (int a : {2, 8}) {
+    for (int b : {4, 32}) {
+      const double flat = sm::allreduce_ms(bytes, a * b, l);
+      const double hier = sm::hierarchical_allreduce_ms(bytes, a, b, l, l);
+      const double saved_rounds = 2.0 * (a * b - 1) - 2.0 * (a + b - 2);
+      EXPECT_NEAR(flat - hier, saved_rounds * l.latency_us * 1e-3,
+                  1e-6 * flat)
+          << "a=" << a << " b=" << b;
+      EXPECT_LE(hier, flat);
+    }
+  }
+}
+
+TEST(Collectives, HierarchicalDegeneratesToFlat) {
+  const sm::LinkSpec intra = link(100.0, 8.0);
+  const sm::LinkSpec inter = link(12.5, 20.0);
+  const int64_t bytes = 1 << 20;
+  EXPECT_DOUBLE_EQ(sm::hierarchical_allreduce_ms(bytes, 1, 8, intra, inter),
+                   sm::allreduce_ms(bytes, 8, inter));
+  EXPECT_DOUBLE_EQ(sm::hierarchical_allreduce_ms(bytes, 8, 1, intra, inter),
+                   sm::allreduce_ms(bytes, 8, intra));
+  EXPECT_DOUBLE_EQ(sm::hierarchical_allreduce_ms(0, 4, 4, intra, inter), 0.0);
+  EXPECT_DOUBLE_EQ(sm::hierarchical_allreduce_ms(bytes, 1, 1, intra, inter),
+                   0.0);
+}
+
+TEST(Collectives, ReduceScatterPlusAllGatherComposeToAllReduce) {
+  // The textbook identity the hierarchical schedule is built on.
+  const sm::LinkSpec l = link(25.0, 5.0);
+  const int64_t bytes = 6291456;
+  for (int n : {2, 4, 8, 16}) {
+    const double rs = sm::reduce_scatter_ms(bytes, n, l);
+    const double ag = sm::allgather_ms(bytes / n, n, l);
+    EXPECT_NEAR(rs + ag, sm::allreduce_ms(bytes, n, l),
+                1e-12 * (rs + ag) + 1e-12)
+        << "n=" << n;
+  }
+}
+
+// ---- TopologySpec ----
+
+TEST(Topology, TierCountFollowsLeafRadix) {
+  sm::TopologySpec t;
+  t.spine = sm::TopologySpec::Spine::kFatTree;
+  EXPECT_EQ(t.tiers(1), 1);
+  EXPECT_EQ(t.tiers(16), 1);
+  EXPECT_EQ(t.tiers(17), 2);
+  EXPECT_EQ(t.tiers(256), 2);
+  EXPECT_EQ(t.tiers(257), 3);
+  EXPECT_EQ(t.tiers(4096), 3);
+}
+
+TEST(Topology, FlatSpineIsIdentity) {
+  const sm::LinkSpec inter = link(12.5, 20.0);
+  sm::TopologySpec t;  // default kFlat
+  for (int nodes : {1, 16, 512}) {
+    const sm::LinkSpec seen = t.cross_node(inter, nodes);
+    EXPECT_DOUBLE_EQ(seen.bandwidth_gb_s, inter.bandwidth_gb_s);
+    EXPECT_DOUBLE_EQ(seen.latency_us, inter.latency_us);
+  }
+}
+
+TEST(Topology, FatTreePreservesBandwidthAndAddsTierLatency) {
+  const sm::LinkSpec inter = link(12.5, 20.0);
+  sm::TopologySpec t;
+  t.spine = sm::TopologySpec::Spine::kFatTree;
+  const sm::LinkSpec near = t.cross_node(inter, 16);
+  const sm::LinkSpec far = t.cross_node(inter, 512);
+  EXPECT_DOUBLE_EQ(near.bandwidth_gb_s, inter.bandwidth_gb_s);
+  EXPECT_DOUBLE_EQ(far.bandwidth_gb_s, inter.bandwidth_gb_s);
+  EXPECT_DOUBLE_EQ(near.latency_us, inter.latency_us * 1);
+  EXPECT_DOUBLE_EQ(far.latency_us, inter.latency_us * 3);
+}
+
+TEST(Topology, OversubscriptionDividesCrossSpineBandwidth) {
+  const sm::LinkSpec inter = link(12.5, 20.0);
+  sm::TopologySpec t;
+  t.spine = sm::TopologySpec::Spine::kOversubscribed;
+  t.oversubscription = 4.0;
+  // Within one leaf (<= 16 nodes) traffic never crosses an uplink.
+  EXPECT_DOUBLE_EQ(t.cross_node(inter, 16).bandwidth_gb_s,
+                   inter.bandwidth_gb_s);
+  EXPECT_DOUBLE_EQ(t.cross_node(inter, 64).bandwidth_gb_s,
+                   inter.bandwidth_gb_s / 4.0);
+}
+
+// ---- ClusterSpec validation ----
+
+TEST(ClusterSpec, ValidateNamesTheOffendingField) {
+  auto expect_msg = [](sm::ClusterSpec spec, const char* fragment) {
+    try {
+      spec.validate();
+      FAIL() << "expected std::invalid_argument mentioning '" << fragment
+             << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("ClusterSpec"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+  const sm::ClusterSpec good = sm::ClusterSpec::datacenter(4);
+  EXPECT_NO_THROW(good.validate());
+
+  sm::ClusterSpec bad = good;
+  bad.num_nodes = 0;
+  expect_msg(bad, "num_nodes");
+
+  bad = good;
+  bad.gpus_per_node = -1;
+  expect_msg(bad, "gpus_per_node");
+
+  bad = good;
+  bad.inter_node.bandwidth_gb_s = 0.0;
+  expect_msg(bad, "bandwidth");
+
+  bad = good;
+  bad.intra_node.latency_us = -1.0;
+  expect_msg(bad, "latency");
+
+  bad = good;
+  bad.topology.spine = sm::TopologySpec::Spine::kOversubscribed;
+  bad.topology.oversubscription = 0.5;
+  expect_msg(bad, "oversubscription");
+
+  bad = good;
+  bad.gpu.mfu = 1.5;
+  expect_msg(bad, "mfu");
+}
+
+TEST(ClusterSpec, DatacenterFactoryShape) {
+  const auto c = sm::ClusterSpec::datacenter(512);
+  EXPECT_EQ(c.num_nodes, 512);
+  EXPECT_EQ(c.gpus_per_node, 8);
+  EXPECT_EQ(c.total_gpus(), 4096);
+  EXPECT_TRUE(c.topology.hierarchical());
+}
+
+// ---- data-parallel pipeline axis ----
+
+namespace {
+
+sm::PipelineCosts base_costs() {
+  sm::PipelineCosts c;
+  c.fwd_ms = {4.0, 5.0, 4.5, 6.0};
+  c.bwd_ms = {8.0, 9.5, 9.0, 11.0};
+  c.p2p_fwd_ms = {2.0, 2.5, 1.5};
+  c.p2p_bwd_ms = {2.0, 2.5, 1.5};
+  c.micro_batches = 8;
+  return c;
+}
+
+}  // namespace
+
+TEST(PipelineDp, SingleReplicaIsByteIdentical) {
+  // replicas == 1 must leave the op graph untouched even with a priced
+  // gradient array — the DP section is inert, not "almost zero".
+  const sm::PipelineCosts plain = base_costs();
+  sm::PipelineCosts dp1 = plain;
+  dp1.dp.replicas = 1;
+  dp1.dp.grad_allreduce_ms = {3.0, 3.0, 3.0, 3.0};
+  for (const auto kind : {sm::ScheduleKind::kGpipe, sm::ScheduleKind::k1F1B}) {
+    for (bool overlap : {false, true}) {
+      const auto a = sm::simulate_pipeline(plain, {kind, 1, overlap});
+      const auto b = sm::simulate_pipeline(dp1, {kind, 1, overlap});
+      ASSERT_EQ(a.makespan_ms, b.makespan_ms);
+      ASSERT_EQ(a.stage_busy_ms, b.stage_busy_ms);
+      ASSERT_EQ(a.stage_idle_ms, b.stage_idle_ms);
+      ASSERT_EQ(a.boundary_comm_ms, b.boundary_comm_ms);
+      EXPECT_EQ(b.dp_replicas, 1);
+      EXPECT_EQ(b.dp_comm_ms, 0.0);
+    }
+  }
+}
+
+TEST(PipelineDp, GradAllReduceLengthensTheIterationAndIsAccounted) {
+  const sm::PipelineCosts plain = base_costs();
+  sm::PipelineCosts dp = plain;
+  dp.dp.replicas = 4;
+  dp.dp.grad_allreduce_ms = {3.0, 3.5, 4.0, 4.5};
+  const double no_dp =
+      sm::simulate_pipeline(plain, {sm::ScheduleKind::k1F1B, 1, false})
+          .makespan_ms;
+  const auto r =
+      sm::simulate_pipeline(dp, {sm::ScheduleKind::k1F1B, 1, false});
+  EXPECT_EQ(r.dp_replicas, 4);
+  EXPECT_DOUBLE_EQ(r.dp_comm_ms, 3.0 + 3.5 + 4.0 + 4.5);
+  // Identical replicas finish together; the all-reduce tail pushes the
+  // makespan past the single-replica schedule by at least the cheapest
+  // stage's all-reduce.
+  EXPECT_GE(r.makespan_ms, no_dp + 3.0 - 1e-9);
+}
+
+TEST(PipelineDp, OverlappedGradsNeverSlowerThanSyncPhase) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    sm::PipelineCosts c = base_costs();
+    c.dp.replicas = 2 + static_cast<int>(seed % 3);
+    c.dp.grad_allreduce_ms = {2.0 + seed * 0.1, 3.0, 2.5, 4.0};
+    c.micro_batches = 1 + static_cast<int>(seed % 8);
+    sm::PipelineCosts sync = c;
+    sync.dp.overlap_grads = false;
+    c.dp.overlap_grads = true;
+    for (const auto kind :
+         {sm::ScheduleKind::kGpipe, sm::ScheduleKind::k1F1B}) {
+      const double over =
+          sm::simulate_pipeline(c, {kind, 1, false}).makespan_ms;
+      const double phase =
+          sm::simulate_pipeline(sync, {kind, 1, false}).makespan_ms;
+      EXPECT_LE(over, phase + 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PipelineDp, RejectsMalformedGradArray) {
+  sm::PipelineCosts c = base_costs();
+  c.dp.replicas = 2;
+  c.dp.grad_allreduce_ms = {1.0, 2.0};  // stages == 4
+  EXPECT_THROW(sm::simulate_pipeline(c, {sm::ScheduleKind::k1F1B, 1, false}),
+               std::invalid_argument);
+  c.dp.grad_allreduce_ms = {1.0, 2.0, -3.0, 4.0};
+  EXPECT_THROW(sm::simulate_pipeline(c, {sm::ScheduleKind::k1F1B, 1, false}),
+               std::invalid_argument);
+  c.dp.grad_allreduce_ms.clear();
+  c.dp.replicas = 0;
+  EXPECT_THROW(sm::simulate_pipeline(c, {sm::ScheduleKind::k1F1B, 1, false}),
+               std::invalid_argument);
+}
+
+// ---- 3D ModelParallelSimulator ----
+
+TEST(Simulator3d, DataParallelAxisIsPricedAndAccounted) {
+  namespace par = actcomp::parallel;
+  const auto model = actcomp::nn::BertConfig::bert_large();
+  const par::TrainJob job{16, 4, 128};
+
+  const auto c1 = sm::ClusterSpec::datacenter(1);
+  const par::ModelParallelSimulator flat(c1, model, {4, 2, 1}, job);
+  const auto base = flat.run_baseline();
+  EXPECT_EQ(base.dp_replicas, 1);
+  EXPECT_EQ(base.dp_comm_ms, 0.0);
+
+  const auto c4 = sm::ClusterSpec::datacenter(4);
+  const par::ModelParallelSimulator wide(c4, model, {4, 2, 4}, job);
+  const auto dp = wide.run_baseline();
+  EXPECT_EQ(dp.dp_replicas, 4);
+  EXPECT_GT(dp.dp_comm_ms, 0.0);
+  EXPECT_GE(dp.makespan_ms, base.makespan_ms);
+
+  // Compressing the gradient payload shrinks DP comm time.
+  par::SimOptions opts;
+  opts.dp_grad_setting = actcomp::compress::Setting::kA1;
+  const par::ModelParallelSimulator comp(c4, model, {4, 2, 4}, job, opts);
+  const auto dpc = comp.run_baseline();
+  EXPECT_LT(dpc.dp_comm_ms, dp.dp_comm_ms);
+}
+
+TEST(Simulator3d, RejectsMismatchedGridWithPreciseMessage) {
+  namespace par = actcomp::parallel;
+  const auto model = actcomp::nn::BertConfig::bert_large();
+  try {
+    par::ModelParallelSimulator bad(sm::ClusterSpec::datacenter(4), model,
+                                    {4, 2, 2}, {16, 4, 128});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("tp*pp*dp"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
