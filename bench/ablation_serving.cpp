@@ -1,0 +1,177 @@
+// Ablation: does compressing the TP collectives help *serving*?
+//
+// The paper prices training iterations; this bench asks the same question of
+// autoregressive inference, where the economics invert. A decode step moves
+// one token per sequence through every TP collective — the payload collapses
+// from micro_batch x seq x h to seqs x h, so the collectives are latency-
+// bound, not bandwidth-bound, and the fixed encode/dispatch overhead of a
+// compressor is paid per generated token. Prefill looks like training
+// (hundreds of tokens per collective) and compression can still buy TTFT on
+// slow links.
+//
+// Protocol: two cluster panels — a single NVLink node (TP=4, the regime
+// where the paper's Takeaway 1 says compression already does not pay for
+// training) and a TP=8 group spilled across two nodes' 1.25 GB/s uplink (the
+// regime where it does). For each compression setting, a seeded Poisson
+// request stream (fixed prompt/generation shape) is replayed through the
+// continuous-batching serving simulator (sim/serving.h), with every
+// scheduler step priced by parallel::make_serving_cost — the same
+// compressed-collective rules as the training forward. The rate sweep traces
+// a throughput-vs-p99 Pareto per compressor.
+//
+//   $ ./ablation_serving [num_requests] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/simbench.h"
+#include "sim/serving.h"
+
+int main(int argc, char** argv) {
+  using namespace actcomp;
+  obs::RunReport report("ablation_serving");
+  const int num_requests = argc > 1 ? std::atoi(argv[1]) : 64;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const nn::BertConfig model = nn::BertConfig::bert_large();
+  const int64_t prompt_tokens = 128;
+  const int64_t max_new_tokens = 32;
+  const int64_t max_batch = 8;
+  const int64_t token_budget = 2048;
+
+  // Baseline plus one compressor per family: autoencoder (allreduce-
+  // compatible), Top-K (same ratio as A2), 4-bit quantization.
+  const std::vector<compress::Setting> settings = {
+      compress::Setting::kBaseline, compress::Setting::kA2,
+      compress::Setting::kT3, compress::Setting::kQ2};
+
+  struct Panel {
+    const char* label;
+    sim::ClusterSpec cluster;
+    parallel::ParallelConfig par;
+    std::vector<double> rates_per_s;  ///< arrival-rate sweep (Pareto x-axis)
+  };
+  const Panel panels[] = {
+      {"NVLink node, TP=4", sim::ClusterSpec::aws_p3(1), {4, 1},
+       {2.0, 6.0, 12.0}},
+      {"2 nodes, TP=8 over 1.25 GB/s", sim::ClusterSpec::aws_p3(2), {8, 1},
+       {0.5, 1.5, 3.0}},
+  };
+
+  report.set_config("num_requests", int64_t{num_requests});
+  report.set_config("seed", static_cast<int64_t>(seed));
+  report.set_config("prompt_tokens", prompt_tokens);
+  report.set_config("max_new_tokens", max_new_tokens);
+  report.set_config("max_batch", max_batch);
+  report.set_config("token_budget", token_budget);
+
+  std::printf(
+      "Ablation — compressed TP collectives under inference serving\n"
+      "(BERT-Large, prompt %lld, generate %lld, continuous batching with\n"
+      "max_batch %lld / token budget %lld; %d Poisson requests, seed %llu)\n",
+      static_cast<long long>(prompt_tokens),
+      static_cast<long long>(max_new_tokens),
+      static_cast<long long>(max_batch), static_cast<long long>(token_budget),
+      num_requests, static_cast<unsigned long long>(seed));
+
+  for (const Panel& panel : panels) {
+    std::printf("\n=== %s (cluster %s) ===\n", panel.label,
+                panel.cluster.name.c_str());
+
+    // --- Per-step anatomy: where one prefill / one decode step spends. ---
+    std::printf("\nStep anatomy (one request prefilling; a full decode "
+                "batch mid-generation):\n\n");
+    std::vector<std::string> aheader{"setting",   "prefill ms", "decode ms",
+                                     "tp comm",   "enc+dec",    "dispatch",
+                                     "1-req ttft", "1-req tpot"};
+    std::vector<std::vector<std::string>> abody;
+    for (compress::Setting s : settings) {
+      parallel::ModelParallelSimulator sim(panel.cluster, model, panel.par,
+                                           parallel::TrainJob{});
+      const auto plan = core::CompressionPlan::paper_default(s, model.num_layers);
+      const parallel::InferenceBatch prefill{
+          1, prompt_tokens, prompt_tokens * (prompt_tokens + 1) / 2};
+      const parallel::InferenceBatch decode{
+          max_batch, max_batch,
+          max_batch * (prompt_tokens + max_new_tokens / 2)};
+      const auto pc = sim.inference_step_cost(plan, prefill);
+      const auto dc = sim.inference_step_cost(plan, decode);
+      const auto one = sim.run_inference(plan, prompt_tokens, max_new_tokens);
+      abody.push_back({compress::setting_label(s), bench::fmt(pc.total_ms()),
+                       bench::fmt(dc.total_ms()), bench::fmt(dc.tp_comm_ms),
+                       bench::fmt(dc.enc_ms + dc.dec_ms),
+                       bench::fmt(dc.dispatch_ms), bench::fmt(one.ttft_ms),
+                       bench::fmt(one.per_token_ms)});
+    }
+    bench::print_table(aheader, abody, 10);
+
+    // --- The serving sweep: one Pareto point per (setting, rate). ---
+    for (const double rate : panel.rates_per_s) {
+      sim::PoissonTraceSpec spec;
+      spec.rate_per_s = rate;
+      spec.num_requests = num_requests;
+      spec.prompt_tokens = prompt_tokens;
+      spec.max_new_tokens = max_new_tokens;
+      spec.seed = seed;
+      const auto trace = sim::poisson_trace(spec);
+
+      std::printf("\n[%s | %.1f req/s]\n\n", panel.label, rate);
+      std::vector<std::string> header{"setting",  "ttft p50", "ttft p99",
+                                      "tpot p50", "tpot p99", "e2e p99",
+                                      "tok/s",    "conc"};
+      std::vector<std::vector<std::string>> body;
+      for (compress::Setting s : settings) {
+        parallel::ModelParallelSimulator sim(panel.cluster, model, panel.par,
+                                             parallel::TrainJob{});
+        const auto plan =
+            core::CompressionPlan::paper_default(s, model.num_layers);
+        sim::ServingConfig cfg;
+        cfg.max_batch = max_batch;
+        cfg.token_budget = token_budget;
+        cfg.step_cost = parallel::make_serving_cost(sim, plan);
+        const sim::ServingReport rep = sim::simulate_serving(trace, cfg);
+
+        body.push_back({compress::setting_label(s), bench::fmt(rep.ttft.p50_ms),
+                        bench::fmt(rep.ttft.p99_ms), bench::fmt(rep.tpot.p50_ms),
+                        bench::fmt(rep.tpot.p99_ms), bench::fmt(rep.e2e.p99_ms),
+                        bench::fmt(rep.throughput_tok_s()),
+                        bench::fmt(rep.mean_concurrency, 1)});
+
+        obs::json::Value rec = obs::json::Value::object();
+        rec.set("panel", std::string(panel.label));
+        rec.set("cluster", panel.cluster.name);
+        rec.set("tp", int64_t{panel.par.tp});
+        rec.set("setting", compress::setting_label(s));
+        rec.set("rate_per_s", rate);
+        rec.set("completed", rep.completed);
+        rec.set("generated_tokens", rep.generated_tokens);
+        rec.set("throughput_tok_s", rep.throughput_tok_s());
+        rec.set("mean_concurrency", rep.mean_concurrency);
+        rec.set("ttft_p50_ms", rep.ttft.p50_ms);
+        rec.set("ttft_p95_ms", rep.ttft.p95_ms);
+        rec.set("ttft_p99_ms", rep.ttft.p99_ms);
+        rec.set("tpot_p50_ms", rep.tpot.p50_ms);
+        rec.set("tpot_p95_ms", rep.tpot.p95_ms);
+        rec.set("tpot_p99_ms", rep.tpot.p99_ms);
+        rec.set("e2e_p99_ms", rep.e2e.p99_ms);
+        report.add_record(std::move(rec));
+      }
+      bench::print_table(header, body, 10);
+    }
+  }
+
+  std::printf(
+      "\nTakeaway: serving inverts the training verdict per phase. Decode\n"
+      "collectives carry one token per sequence, so they are latency-bound\n"
+      "and every compressor pays its fixed encode/dispatch cost per output\n"
+      "token — on the NVLink panel compression only widens the per-token\n"
+      "tail (the serving twin of the paper's Takeaway 1). When TP spills\n"
+      "across the 1.25 GB/s uplink even the one-token collectives are\n"
+      "bandwidth-bound: Top-K and quantization pull TTFT p99 and TPOT below\n"
+      "the baseline at every arrival rate, while the autoencoder's heavier\n"
+      "per-step overhead still loses. Same model, same compressors — the\n"
+      "Pareto winner flips with the link, so the choice must be priced per\n"
+      "deployment, which is what this simulator is for.\n");
+  return 0;
+}

@@ -41,7 +41,7 @@ sanitize() {
   ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     ctest --test-dir build-asan \
-      -R 'golden|property|engine|topology|checkpoint|recovery' \
+      -R 'golden|property|engine|topology|checkpoint|recovery|kv_cache|serving' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 
@@ -52,7 +52,8 @@ tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
     --target core_test tensor_test compress_test obs_test \
-             checkpoint_test recovery_test topology_test
+             checkpoint_test recovery_test topology_test \
+             kv_cache_test serving_test
   # Everything that calls parallel_for runs under TSan: the runtime itself
   # (core/), the tensor kernels (tensor/), the compressor kernels
   # (compress/), and the profiler/registry (obs/), whose zone buffers and
@@ -60,11 +61,14 @@ tsan() {
   # checkpoint/recovery suites join because checkpoint capture and the
   # training loop underneath it run tensor kernels on the pool too, and
   # topology/ because the 3D simulator it drives is the newest surface the
-  # sanitizers should sweep. --no-tests=error guards against a prefix
-  # regression silently deselecting the slice.
+  # sanitizers should sweep. kv_cache/ runs its differential decode harness
+  # at 1 and 4 pool threads (bit-identity across thread counts is exactly a
+  # TSan question), and serving/ joins as the newest engine-driven surface.
+  # --no-tests=error guards against a prefix regression silently
+  # deselecting the slice.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan \
-      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/|topology/' \
+      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/|topology/|kv_cache/|serving/' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 

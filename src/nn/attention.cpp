@@ -1,6 +1,7 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <limits>
 
 #include "autograd/functions.h"
 #include "tensor/check.h"
@@ -31,6 +32,25 @@ ag::Variable split_heads(const ag::Variable& x, int64_t b, int64_t s, int64_t nh
   ag::Variable r = ag::reshape(x, ts::Shape{b, s, nh, dh});
   r = ag::permute(r, {0, 2, 1, 3});  // [b, nh, s, dh]
   return ag::reshape(r, ts::Shape{b * nh, s, dh});
+}
+
+/// Additive causal mask [groups, n, total]: query row i sits at global
+/// position start+i and sees keys 0..start+i; later keys get -inf. -inf (not
+/// the finite -1e4 the padding mask uses) makes masked lanes exactly 0.0
+/// after softmax, which is what keeps the cached decode bit-identical to the
+/// full causal forward: trailing zero terms perturb neither the softmax
+/// normalizer nor the context accumulation.
+ts::Tensor causal_mask(int64_t groups, int64_t n, int64_t total, int64_t start) {
+  ts::Tensor m{ts::Shape{groups, n, total}};
+  const float ninf = -std::numeric_limits<float>::infinity();
+  auto d = m.data();
+  for (int64_t g = 0; g < groups; ++g) {
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = d.data() + static_cast<size_t>((g * n + i) * total);
+      for (int64_t j = start + i + 1; j < total; ++j) row[j] = ninf;
+    }
+  }
+  return m;
 }
 
 }  // namespace
@@ -74,6 +94,68 @@ ag::Variable MultiHeadAttention::forward(const ag::Variable& x,
   ctx = ag::reshape(ctx, ts::Shape{b, heads_, s, head_dim_});
   ctx = ag::permute(ctx, {0, 2, 1, 3});  // [b, s, nh, dh]
   ctx = ag::reshape(ctx, ts::Shape{b, s, hidden_});
+  return wo_.forward(ctx);
+}
+
+ag::Variable MultiHeadAttention::forward_causal(const ag::Variable& x) const {
+  const ts::Tensor& xv = x.value();
+  ACTCOMP_CHECK(xv.rank() == 3 && xv.dim(2) == hidden_,
+                "causal attention expects [b, s, " << hidden_ << "], got "
+                                                   << xv.shape().str());
+  const int64_t b = xv.dim(0), s = xv.dim(1);
+
+  ag::Variable q = split_heads(wq_.forward(x), b, s, heads_, head_dim_);
+  ag::Variable k = split_heads(wk_.forward(x), b, s, heads_, head_dim_);
+  ag::Variable v = split_heads(wv_.forward(x), b, s, heads_, head_dim_);
+
+  ag::Variable scores = ag::matmul(q, ag::transpose_last2(k));  // [b*nh, s, s]
+  scores = ag::mul_scalar(scores, 1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  scores = ag::add(scores, ag::Variable::leaf(causal_mask(b * heads_, s, s, 0)));
+
+  ag::Variable attn = ag::softmax_last(scores);
+  ag::Variable ctx = ag::matmul(attn, v);  // [b*nh, s, dh]
+  ctx = ag::reshape(ctx, ts::Shape{b, heads_, s, head_dim_});
+  ctx = ag::permute(ctx, {0, 2, 1, 3});
+  ctx = ag::reshape(ctx, ts::Shape{b, s, hidden_});
+  return wo_.forward(ctx);
+}
+
+ag::Variable MultiHeadAttention::forward_cached(const ag::Variable& x,
+                                                KvCache& cache,
+                                                int64_t layer) const {
+  const ts::Tensor& xv = x.value();
+  ACTCOMP_CHECK(xv.rank() == 3 && xv.dim(2) == hidden_,
+                "cached attention expects [b, n, " << hidden_ << "], got "
+                                                   << xv.shape().str());
+  ACTCOMP_CHECK(cache.hidden() == hidden_ && cache.batch() == xv.dim(0),
+                "cache shape [" << cache.batch() << ", ·, " << cache.hidden()
+                                << "] does not match input "
+                                << xv.shape().str());
+  const int64_t b = xv.dim(0), n = xv.dim(1);
+  const int64_t start = cache.len();
+  const int64_t total = start + n;
+
+  ag::Variable q = wq_.forward(x);
+  ag::Variable k = wk_.forward(x);
+  ag::Variable v = wv_.forward(x);
+  cache.append(layer, k.value(), v.value());
+
+  ag::Variable q3 = split_heads(q, b, n, heads_, head_dim_);
+  ag::Variable k3 = split_heads(ag::Variable::leaf(cache.keys(layer, total)), b,
+                                total, heads_, head_dim_);
+  ag::Variable v3 = split_heads(ag::Variable::leaf(cache.values(layer, total)),
+                                b, total, heads_, head_dim_);
+
+  ag::Variable scores = ag::matmul(q3, ag::transpose_last2(k3));  // [b*nh, n, total]
+  scores = ag::mul_scalar(scores, 1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  scores =
+      ag::add(scores, ag::Variable::leaf(causal_mask(b * heads_, n, total, start)));
+
+  ag::Variable attn = ag::softmax_last(scores);
+  ag::Variable ctx = ag::matmul(attn, v3);  // [b*nh, n, dh]
+  ctx = ag::reshape(ctx, ts::Shape{b, heads_, n, head_dim_});
+  ctx = ag::permute(ctx, {0, 2, 1, 3});
+  ctx = ag::reshape(ctx, ts::Shape{b, n, hidden_});
   return wo_.forward(ctx);
 }
 

@@ -1,6 +1,7 @@
 // Multi-head self-attention (the BERT encoder flavour).
 #pragma once
 
+#include "nn/kv_cache.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 
@@ -15,6 +16,18 @@ class MultiHeadAttention final : public Module {
   /// it is added to every query's attention scores.
   autograd::Variable forward(const autograd::Variable& x,
                              const tensor::Tensor& key_mask) const;
+
+  /// Full-sequence causal self-attention (no cache): query t attends keys
+  /// 0..t via an additive -inf mask. The reference path the KV-cache decode
+  /// is pinned against (tests/kv_cache_test.cpp).
+  autograd::Variable forward_causal(const autograd::Variable& x) const;
+
+  /// Incremental causal attention: projects k/v for the n new positions in
+  /// `x` ([b, n, h]), appends them to `cache` under `layer`, and attends the
+  /// new queries over every cached position. The cache step must be open
+  /// (KvCache::begin_step).
+  autograd::Variable forward_cached(const autograd::Variable& x, KvCache& cache,
+                                    int64_t layer) const;
 
   std::vector<NamedParam> named_parameters() const override;
 

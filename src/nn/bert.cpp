@@ -99,6 +99,68 @@ ag::Variable BertModel::forward(const EncoderInput& in, tensor::Generator& gen,
   return x;
 }
 
+ag::Variable BertModel::embed_causal(const std::vector<int64_t>& token_ids,
+                                     int64_t batch, int64_t start) const {
+  ACTCOMP_CHECK(batch > 0, "causal forward needs batch >= 1, got " << batch);
+  ACTCOMP_CHECK(!token_ids.empty(),
+                "causal forward got an empty token stream — decode needs at "
+                "least one token");
+  ACTCOMP_CHECK(static_cast<int64_t>(token_ids.size()) % batch == 0,
+                "token_ids size " << token_ids.size()
+                                  << " not divisible by batch " << batch);
+  const int64_t n = static_cast<int64_t>(token_ids.size()) / batch;
+  ACTCOMP_CHECK(start + n <= cfg_.max_seq,
+                "decode positions [" << start << ", " << start + n
+                                     << ") exceed max_seq " << cfg_.max_seq);
+
+  ag::Variable x = ag::embedding(tok_emb_, token_ids);  // [b*n, h]
+  std::vector<int64_t> pos_ids(static_cast<size_t>(batch * n));
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < n; ++i) {
+      pos_ids[static_cast<size_t>(b * n + i)] = start + i;
+    }
+  }
+  x = ag::add(x, ag::embedding(pos_emb_, pos_ids));
+  x = emb_ln_.forward(x);
+  return ag::reshape(x, ts::Shape{batch, n, cfg_.hidden});
+}
+
+ag::Variable BertModel::forward_causal(const std::vector<int64_t>& token_ids,
+                                       int64_t batch) const {
+  ag::Variable x = embed_causal(token_ids, batch, 0);
+  for (int64_t i = 0; i < num_layers(); ++i) {
+    x = layers_[static_cast<size_t>(i)]->forward_causal(x);
+    const auto it = boundary_comp_.find(i);
+    if (it != boundary_comp_.end()) x = it->second->apply(x);
+  }
+  return x;
+}
+
+ag::Variable BertModel::forward_cached(const std::vector<int64_t>& token_ids,
+                                       int64_t batch, KvCache& cache) const {
+  ACTCOMP_CHECK(cache.num_layers() == num_layers() &&
+                    cache.hidden() == cfg_.hidden && cache.batch() == batch,
+                "cache shaped for " << cache.num_layers() << " layers x ["
+                                    << cache.batch() << ", ·, " << cache.hidden()
+                                    << "], model needs " << num_layers()
+                                    << " x [" << batch << ", ·, " << cfg_.hidden
+                                    << "]");
+  ag::Variable x = embed_causal(token_ids, batch, cache.len());
+  const int64_t n = x.value().dim(1);
+  cache.begin_step(n);
+  for (int64_t i = 0; i < num_layers(); ++i) {
+    x = layers_[static_cast<size_t>(i)]->forward_cached(x, cache, i);
+    const auto it = boundary_comp_.find(i);
+    if (it != boundary_comp_.end()) x = it->second->apply(x);
+  }
+  cache.commit();
+  return x;
+}
+
+KvCache BertModel::make_cache(int64_t batch, int64_t capacity) const {
+  return KvCache(num_layers(), batch, cfg_.hidden, capacity);
+}
+
 std::vector<NamedParam> BertModel::named_parameters() const {
   std::vector<NamedParam> out{{"embeddings.token", tok_emb_},
                               {"embeddings.position", pos_emb_},
@@ -180,6 +242,66 @@ std::vector<NamedParam> MlmHead::named_parameters() const {
   for (auto& p : prefixed("ln", ln_.named_parameters())) out.push_back(std::move(p));
   for (auto& p : prefixed("decoder", decoder_.named_parameters())) out.push_back(std::move(p));
   return out;
+}
+
+// ---- greedy decoding ----
+
+namespace {
+
+/// Last position of a [1, n, h] hidden state as [1, 1, h].
+ag::Variable last_position(const ag::Variable& h) {
+  const ts::Tensor& v = h.value();
+  const int64_t n = v.dim(1), hid = v.dim(2);
+  if (n == 1) return h;
+  ag::Variable flat = ag::reshape(h, ts::Shape{n, hid});
+  ag::Variable last = ag::gather_rows(flat, {n - 1});
+  return ag::reshape(last, ts::Shape{1, 1, hid});
+}
+
+/// Argmax over a [1, vocab] logits row, lowest index on ties.
+int64_t argmax_logits(const ag::Variable& logits) {
+  const auto d = logits.value().data();
+  int64_t best = 0;
+  for (int64_t i = 1; i < static_cast<int64_t>(d.size()); ++i) {
+    if (d[static_cast<size_t>(i)] > d[static_cast<size_t>(best)]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+GenerateResult greedy_generate(const BertModel& model, const MlmHead& lm_head,
+                               const std::vector<int64_t>& prompt,
+                               int64_t max_new_tokens) {
+  ACTCOMP_CHECK(!prompt.empty(),
+                "greedy_generate: empty prompt — the decode loop needs at "
+                "least one token of context");
+  ACTCOMP_CHECK(max_new_tokens >= 0,
+                "greedy_generate: max_new_tokens = " << max_new_tokens
+                                                     << ", must be >= 0");
+  const int64_t p = static_cast<int64_t>(prompt.size());
+  ACTCOMP_CHECK(p + max_new_tokens <= model.config().max_seq,
+                "greedy_generate: prompt (" << p << ") + max_new_tokens ("
+                                            << max_new_tokens
+                                            << ") exceeds max_seq "
+                                            << model.config().max_seq);
+
+  GenerateResult r;
+  r.tokens = prompt;
+  r.prompt_tokens = p;
+  if (max_new_tokens == 0) return r;  // zero-length decode: graceful no-op
+
+  KvCache cache = model.make_cache(1, p + max_new_tokens);
+  ag::Variable h = model.forward_cached(prompt, 1, cache);  // prefill
+  int64_t next = argmax_logits(lm_head.forward(last_position(h)));
+  for (;;) {
+    r.tokens.push_back(next);
+    ++r.generated;
+    if (r.generated == max_new_tokens) break;
+    h = model.forward_cached({next}, 1, cache);  // decode one position
+    next = argmax_logits(lm_head.forward(h));
+  }
+  return r;
 }
 
 }  // namespace actcomp::nn

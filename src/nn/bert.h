@@ -57,6 +57,23 @@ class BertModel final : public Module {
   autograd::Variable forward(const EncoderInput& in, tensor::Generator& gen,
                              bool training) const;
 
+  /// Causal (decoder-style) full-sequence inference forward: token + position
+  /// embeddings (single-segment, no dropout), causal layers, boundary
+  /// compressors. `token_ids` is batch*seq row-major; output [b, s, h].
+  autograd::Variable forward_causal(const std::vector<int64_t>& token_ids,
+                                    int64_t batch) const;
+
+  /// Incremental inference forward: embeds the n new tokens per sequence at
+  /// positions [cache.len(), cache.len()+n), runs every layer over the
+  /// cache, and commits the step. Bit-identical to forward_causal over the
+  /// concatenated token stream at every prefix (tests/kv_cache_test.cpp);
+  /// n == prompt length is the prefill phase, n == 1 the decode phase.
+  autograd::Variable forward_cached(const std::vector<int64_t>& token_ids,
+                                    int64_t batch, KvCache& cache) const;
+
+  /// A cache shaped for this model: [num_layers] x [batch, ·, hidden].
+  KvCache make_cache(int64_t batch, int64_t capacity = 0) const;
+
   std::vector<NamedParam> named_parameters() const override;
 
   const BertConfig& config() const { return cfg_; }
@@ -73,6 +90,11 @@ class BertModel final : public Module {
   void clear_compression();
 
  private:
+  /// Token + position embeddings for n new tokens starting at `start`,
+  /// normalized and shaped [b, n, h] (the shared head of the causal paths).
+  autograd::Variable embed_causal(const std::vector<int64_t>& token_ids,
+                                  int64_t batch, int64_t start) const;
+
   BertConfig cfg_;
   autograd::Variable tok_emb_;  // [V, h]
   autograd::Variable pos_emb_;  // [max_seq, h]
@@ -108,6 +130,24 @@ class RegressionHead final : public Module {
   Linear pooler_;
   Linear out_;
 };
+
+/// Result of an autoregressive decode (greedy_generate).
+struct GenerateResult {
+  std::vector<int64_t> tokens;  ///< prompt followed by the generated tokens
+  int64_t prompt_tokens = 0;
+  int64_t generated = 0;
+};
+
+class MlmHead;
+
+/// Greedy autoregressive decoding: prefill the prompt through the cached
+/// causal path in one step, then decode one token at a time, feeding back the
+/// argmax (lowest index on ties) of the LM head's logits. max_new_tokens == 0
+/// is a graceful no-op that returns the prompt unchanged; an empty prompt or
+/// prompt + max_new_tokens > max_seq throw std::invalid_argument.
+GenerateResult greedy_generate(const BertModel& model, const MlmHead& lm_head,
+                               const std::vector<int64_t>& prompt,
+                               int64_t max_new_tokens);
 
 /// Masked-language-model head: transform + GELU + LN + vocabulary decoder.
 class MlmHead final : public Module {

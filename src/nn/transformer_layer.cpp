@@ -39,6 +39,25 @@ ag::Variable TransformerEncoderLayer::forward(const ag::Variable& x,
   return ln2_.forward(ag::add(h1, m));
 }
 
+ag::Variable TransformerEncoderLayer::finish_inference(const ag::Variable& x,
+                                                       ag::Variable a) const {
+  if (attn_comm_ != nullptr) a = attn_comm_->apply(a);
+  ag::Variable h1 = ln1_.forward(ag::add(x, a));
+  ag::Variable m = mlp_out_.forward(ag::gelu(mlp_in_.forward(h1)));
+  if (mlp_comm_ != nullptr) m = mlp_comm_->apply(m);
+  return ln2_.forward(ag::add(h1, m));
+}
+
+ag::Variable TransformerEncoderLayer::forward_causal(const ag::Variable& x) const {
+  return finish_inference(x, attn_.forward_causal(x));
+}
+
+ag::Variable TransformerEncoderLayer::forward_cached(const ag::Variable& x,
+                                                     KvCache& cache,
+                                                     int64_t layer) const {
+  return finish_inference(x, attn_.forward_cached(x, cache, layer));
+}
+
 std::vector<NamedParam> TransformerEncoderLayer::named_parameters() const {
   std::vector<NamedParam> out;
   for (auto& p : prefixed("attn", attn_.named_parameters())) out.push_back(std::move(p));

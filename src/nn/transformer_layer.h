@@ -38,11 +38,25 @@ class TransformerEncoderLayer final : public Module {
                              const tensor::Tensor& key_mask,
                              tensor::Generator& gen, bool training) const;
 
+  /// Causal full-sequence inference forward (no dropout). Compressors
+  /// attached to the two TP points still apply — the decode path compresses
+  /// exactly what the training path does.
+  autograd::Variable forward_causal(const autograd::Variable& x) const;
+
+  /// Incremental inference forward over this layer's cached keys/values.
+  autograd::Variable forward_cached(const autograd::Variable& x, KvCache& cache,
+                                    int64_t layer) const;
+
   std::vector<NamedParam> named_parameters() const override;
 
   const TransformerLayerConfig& config() const { return cfg_; }
 
  private:
+  /// Shared tail of the inference forwards: TP-point compression, residuals,
+  /// layer norms, MLP (no dropout).
+  autograd::Variable finish_inference(const autograd::Variable& x,
+                                      autograd::Variable a) const;
+
   TransformerLayerConfig cfg_;
   MultiHeadAttention attn_;
   LayerNorm ln1_;

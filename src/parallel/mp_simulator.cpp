@@ -438,4 +438,119 @@ IterationBreakdown ModelParallelSimulator::run(
   return out;
 }
 
+InferenceStepCost ModelParallelSimulator::inference_step_cost(
+    const core::CompressionPlan& plan, const InferenceBatch& batch) const {
+  ACTCOMP_CHECK(batch.seqs >= 1,
+                "inference batch needs seqs >= 1, got " << batch.seqs);
+  ACTCOMP_CHECK(batch.new_tokens >= 1,
+                "inference batch needs new_tokens >= 1, got " << batch.new_tokens);
+  ACTCOMP_CHECK(batch.context_tokens >= batch.new_tokens,
+                "context_tokens = " << batch.context_tokens << " < new_tokens = "
+                                    << batch.new_tokens
+                                    << " — every new token attends at least "
+                                       "itself");
+  const int tp = parallel_.tp;
+  const int pp = parallel_.pp;
+  const int64_t h = model_.hidden;
+  const int64_t layers_per_stage = model_.num_layers / pp;
+  // One TP collective moves the new tokens' activations only — the KV cache
+  // stays resident on its ranks. This is why decode steps are latency-bound:
+  // msg_numel collapses to seqs*h per step.
+  const int64_t msg_numel = batch.new_tokens * h;
+  // Forward-only FLOPs, the training model's fwd third specialized to
+  // incremental attention: GEMMs scale with new tokens, attention with the
+  // attended (query, key) pairs.
+  const double gemm_flops = 32.0 * static_cast<double>(batch.new_tokens) *
+                            static_cast<double>(h) * static_cast<double>(h);
+  const double attn_flops =
+      16.0 / 3.0 * static_cast<double>(batch.context_tokens) *
+      static_cast<double>(h);
+  const sim::LinkSpec& tpl = tp_link();
+  const cp::Setting setting = plan.setting;
+
+  InferenceStepCost out;
+  for (int64_t l = 0; l < model_.num_layers; ++l) {
+    out.compute_ms += cluster_.gpu.compute_ms((gemm_flops + attn_flops) / tp);
+    if (tp > 1) {
+      // The same two compressible forward collectives per layer as training
+      // (attention out, MLP out); no backward all-reduces exist here.
+      const bool comp = plan.compresses(l);
+      for (int point = 0; point < 2; ++point) {
+        if (!comp) {
+          out.tp_comm_ms += sm::allreduce_ms(msg_numel * 2, tp, tpl);
+        } else if (is_ae(setting)) {
+          out.dispatch_ms += overhead_.dispatch_ms;
+          out.enc_ms += overhead_.encode_ms(setting, msg_numel, h);
+          out.tp_comm_ms +=
+              sm::allreduce_ms(wire_bytes(setting, msg_numel, h), tp, tpl);
+          out.dec_ms += overhead_.decode_ms(setting, msg_numel, h);
+        } else {
+          out.dispatch_ms += overhead_.dispatch_ms;
+          out.enc_ms += overhead_.encode_ms(setting, msg_numel, h);
+          out.tp_comm_ms +=
+              sm::allgather_ms(wire_bytes(setting, msg_numel, h), tp, tpl);
+          out.dec_ms += overhead_.decode_ms(setting, msg_numel, h, tp);
+        }
+      }
+    }
+  }
+  for (int bd = 0; bd + 1 < pp; ++bd) {
+    const int64_t consumer_layer =
+        static_cast<int64_t>(bd + 1) * layers_per_stage;
+    const bool comp = plan.compresses(consumer_layer);
+    const int64_t bytes =
+        comp ? wire_bytes(setting, msg_numel, h) : msg_numel * 2;
+    const double par = boundary_parallelism(bd);
+    out.p2p_ms +=
+        sm::p2p_ms(static_cast<int64_t>(static_cast<double>(bytes) / par),
+                   boundary_link(bd));
+    if (comp) {
+      out.dispatch_ms += overhead_.dispatch_ms;
+      out.enc_ms += overhead_.encode_ms(setting, msg_numel, h);
+      out.dec_ms += overhead_.decode_ms(setting, msg_numel, h);
+    }
+  }
+  return out;
+}
+
+InferenceBreakdown ModelParallelSimulator::run_inference(
+    const core::CompressionPlan& plan, int64_t prompt_tokens,
+    int64_t new_tokens, int64_t batch) const {
+  ACTCOMP_CHECK(prompt_tokens >= 1,
+                "run_inference needs prompt_tokens >= 1, got " << prompt_tokens);
+  ACTCOMP_CHECK(new_tokens >= 0,
+                "run_inference needs new_tokens >= 0, got " << new_tokens);
+  ACTCOMP_CHECK(batch >= 1, "run_inference needs batch >= 1, got " << batch);
+
+  InferenceBreakdown out;
+  const InferenceBatch pre{batch, batch * prompt_tokens,
+                           batch * prompt_tokens * (prompt_tokens + 1) / 2};
+  out.prefill = inference_step_cost(plan, pre);
+  out.ttft_ms = out.prefill.total_ms();
+  out.total_ms = out.ttft_ms;
+  // Token g of the generation (g >= 1; token 0 falls out of the prefill) is
+  // decoded at context prompt + g. Summed exactly, not at a mean context.
+  double decode_sum = 0.0;
+  for (int64_t g = 1; g < new_tokens; ++g) {
+    const InferenceBatch dec{batch, batch, batch * (prompt_tokens + g)};
+    const InferenceStepCost c = inference_step_cost(plan, dec);
+    if (g == 1) out.first_decode = c;
+    decode_sum += c.total_ms();
+  }
+  if (new_tokens >= 2) {
+    out.per_token_ms = decode_sum / static_cast<double>(new_tokens - 1);
+    out.total_ms += decode_sum;
+  }
+  return out;
+}
+
+sim::StepCostFn make_serving_cost(const ModelParallelSimulator& sim,
+                                  const core::CompressionPlan& plan) {
+  return [sim, plan](const sim::StepShape& shape) {
+    const InferenceBatch batch{shape.seqs, shape.new_tokens,
+                               shape.context_tokens};
+    return sim.inference_step_cost(plan, batch).total_ms();
+  };
+}
+
 }  // namespace actcomp::parallel

@@ -21,6 +21,7 @@
 #include "sim/hardware.h"
 #include "sim/overhead.h"
 #include "sim/pipeline.h"
+#include "sim/serving.h"
 
 namespace actcomp::parallel {
 
@@ -74,6 +75,38 @@ struct TrainJob {
   int64_t micro_batch = 32;
   int64_t num_micro = 1;   ///< micro-batches per iteration (global/micro)
   int64_t seq = 512;
+};
+
+/// Shape of one forward-only inference step over a batch of sequences
+/// (prefill: new_tokens = sum of prompt lengths; decode: new_tokens = seqs).
+/// `context_tokens` is the total KV positions attended across new tokens.
+struct InferenceBatch {
+  int64_t seqs = 1;
+  int64_t new_tokens = 1;
+  int64_t context_tokens = 1;
+};
+
+/// Cost decomposition of one inference step on one pipeline traversal.
+struct InferenceStepCost {
+  double compute_ms = 0.0;   ///< GEMMs + attention, summed over all layers
+  double tp_comm_ms = 0.0;   ///< the per-layer TP collectives (2 per layer)
+  double enc_ms = 0.0;       ///< compression encode at TP points + boundaries
+  double dec_ms = 0.0;       ///< decode (x tp copies under all-gather)
+  double p2p_ms = 0.0;       ///< pipeline-boundary activations
+  double dispatch_ms = 0.0;  ///< fixed per-compressed-point launch overhead
+
+  double total_ms() const {
+    return compute_ms + tp_comm_ms + enc_ms + dec_ms + p2p_ms + dispatch_ms;
+  }
+};
+
+/// TTFT/TPOT summary for one (prompt, generate) request shape.
+struct InferenceBreakdown {
+  double ttft_ms = 0.0;       ///< the prefill step
+  double per_token_ms = 0.0;  ///< mean decode step over the generation
+  double total_ms = 0.0;
+  InferenceStepCost prefill;
+  InferenceStepCost first_decode;
 };
 
 /// Per-iteration timing, decomposed as in the paper's breakdown tables.
@@ -145,6 +178,23 @@ class ModelParallelSimulator {
     return run(core::CompressionPlan::none());
   }
 
+  /// Prices one forward-only inference step (serving): per-layer GEMM +
+  /// attention FLOPs split over tp, the two per-layer TP collective points
+  /// with the SAME compressed-collective rules as the training forward
+  /// (all-reduce for baseline/AE, all-gather + tp decode copies for
+  /// sparse/quant), and the pp-1 boundary p2p hops. TrainJob batch/seq are
+  /// ignored — the step shape is the argument.
+  InferenceStepCost inference_step_cost(const core::CompressionPlan& plan,
+                                        const InferenceBatch& batch) const;
+
+  /// One request's latency profile: a prefill over `prompt_tokens`, then
+  /// `new_tokens - 1` single-token decode steps at growing context (priced
+  /// exactly, not at a mean context). batch > 1 decodes that many requests
+  /// in lockstep.
+  InferenceBreakdown run_inference(const core::CompressionPlan& plan,
+                                   int64_t prompt_tokens, int64_t new_tokens,
+                                   int64_t batch = 1) const;
+
   const sim::OverheadModel& overhead_model() const { return overhead_; }
   sim::OverheadModel& overhead_model() { return overhead_; }
 
@@ -179,5 +229,11 @@ class ModelParallelSimulator {
   SimOptions options_;
   sim::OverheadModel overhead_;
 };
+
+/// Bridge to sim/serving: a StepCostFn pricing every scheduler step through
+/// `sim.inference_step_cost(plan, ·)`. Captures copies, so the returned
+/// function outlives both arguments.
+sim::StepCostFn make_serving_cost(const ModelParallelSimulator& sim,
+                                  const core::CompressionPlan& plan);
 
 }  // namespace actcomp::parallel

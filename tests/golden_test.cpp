@@ -72,6 +72,7 @@ TEST_P(Golden, BenchOutputMatchesCheckedInBaseline) {
 INSTANTIATE_TEST_SUITE_P(Tables, Golden,
                          ::testing::Values("table4_breakdown_finetune",
                                            "table7_breakdown_pretrain",
-                                           "table9_stage_comm"));
+                                           "table9_stage_comm",
+                                           "ablation_serving"));
 
 }  // namespace

@@ -1,0 +1,342 @@
+// Differential tests for the KV-cache decode path (ISSUE 7 tentpole):
+// token-by-token cached decode must reproduce the full-sequence causal
+// forward BYTE-FOR-BYTE at every prefix length, at 1 and 4 threads, with and
+// without (row-local) compression — plus cache rollback/reset/growth edge
+// cases and the generate() loop's degenerate inputs.
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compress/settings.h"
+#include "core/threadpool.h"
+#include "nn/bert.h"
+#include "nn/kv_cache.h"
+#include "tensor/random.h"
+
+namespace {
+
+using actcomp::autograd::Variable;
+using actcomp::nn::BertConfig;
+using actcomp::nn::BertModel;
+using actcomp::nn::GenerateResult;
+using actcomp::nn::KvCache;
+using actcomp::nn::MlmHead;
+using actcomp::tensor::Generator;
+using actcomp::tensor::Tensor;
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(actcomp::core::num_threads()) {}
+  ~ThreadGuard() { actcomp::core::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+BertConfig small_config() {
+  BertConfig cfg;
+  cfg.vocab_size = 97;
+  cfg.hidden = 32;
+  cfg.num_layers = 3;
+  cfg.num_heads = 4;
+  cfg.intermediate = 64;
+  cfg.max_seq = 40;
+  return cfg;
+}
+
+std::vector<int64_t> token_stream(const BertConfig& cfg, int64_t batch,
+                                  int64_t seq, uint64_t salt) {
+  std::vector<int64_t> toks(static_cast<size_t>(batch * seq));
+  for (size_t i = 0; i < toks.size(); ++i) {
+    toks[i] = static_cast<int64_t>((salt + 31 * i + i * i) %
+                                   static_cast<uint64_t>(cfg.vocab_size));
+  }
+  return toks;
+}
+
+/// Exact byte equality of two float tensors (NOT EXPECT_FLOAT_EQ — the
+/// contract is bit-identity, so compare the raw words).
+void expect_bytes_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.shape() == b.shape())
+      << what << ": " << a.shape().str() << " vs " << b.shape().str();
+  const auto da = a.data();
+  const auto db = b.data();
+  ASSERT_EQ(0, std::memcmp(da.data(), db.data(), da.size() * sizeof(float)))
+      << what << ": payloads differ";
+}
+
+/// The tentpole differential: decode `toks` token-by-token through the cache
+/// and demand byte-identity with forward_causal at EVERY prefix length.
+void run_differential(BertModel& model, const BertConfig& cfg, int64_t batch,
+                      int64_t seq, uint64_t salt) {
+  const std::vector<int64_t> toks = token_stream(cfg, batch, seq, salt);
+  KvCache cache = model.make_cache(batch);
+  for (int64_t t = 0; t < seq; ++t) {
+    std::vector<int64_t> step(static_cast<size_t>(batch));
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      step[static_cast<size_t>(bi)] = toks[static_cast<size_t>(bi * seq + t)];
+    }
+    const Variable inc = model.forward_cached(step, batch, cache);
+
+    std::vector<int64_t> prefix_toks(static_cast<size_t>(batch * (t + 1)));
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      for (int64_t j = 0; j <= t; ++j) {
+        prefix_toks[static_cast<size_t>(bi * (t + 1) + j)] =
+            toks[static_cast<size_t>(bi * seq + j)];
+      }
+    }
+    const Variable full = model.forward_causal(prefix_toks, batch);
+    SCOPED_TRACE("prefix length " + std::to_string(t + 1));
+    // The decode step only produces the newest position; compare it against
+    // the same position of the full causal forward over the whole prefix.
+    Tensor last{actcomp::tensor::Shape{batch, 1, cfg.hidden}};
+    auto dl = last.data();
+    const auto df = full.value().data();
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      std::memcpy(dl.data() + static_cast<size_t>(bi * cfg.hidden),
+                  df.data() + static_cast<size_t>((bi * (t + 1) + t) * cfg.hidden),
+                  static_cast<size_t>(cfg.hidden) * sizeof(float));
+    }
+    expect_bytes_equal(inc.value(), last, "cached decode vs full forward");
+  }
+}
+
+TEST(KvCacheDifferential, TokenByTokenMatchesFullForwardEveryPrefix) {
+  const BertConfig cfg = small_config();
+  Generator gen(7);
+  BertModel model(cfg, gen);
+  run_differential(model, cfg, /*batch=*/1, /*seq=*/12, /*salt=*/3);
+}
+
+TEST(KvCacheDifferential, HoldsAtBatchTwo) {
+  const BertConfig cfg = small_config();
+  Generator gen(11);
+  BertModel model(cfg, gen);
+  run_differential(model, cfg, /*batch=*/2, /*seq=*/9, /*salt=*/5);
+}
+
+TEST(KvCacheDifferential, HoldsAtOneAndFourThreads) {
+  const BertConfig cfg = small_config();
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    actcomp::core::set_num_threads(threads);
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    Generator gen(13);
+    BertModel model(cfg, gen);
+    run_differential(model, cfg, /*batch=*/1, /*seq=*/10, /*salt=*/9);
+  }
+}
+
+TEST(KvCacheDifferential, ThreadCountDoesNotChangeDecodeBytes) {
+  // Same model, same stream, 1 vs 4 threads: the decode path itself must be
+  // bit-stable across thread counts (deterministic parallel_for chunking).
+  const BertConfig cfg = small_config();
+  ThreadGuard guard;
+  std::vector<float> lane_bytes[2];
+  int lane = 0;
+  for (int threads : {1, 4}) {
+    actcomp::core::set_num_threads(threads);
+    Generator gen(17);
+    BertModel model(cfg, gen);
+    KvCache cache = model.make_cache(1);
+    const std::vector<int64_t> toks = token_stream(cfg, 1, 8, 21);
+    std::vector<float> bytes;
+    for (int64_t t = 0; t < 8; ++t) {
+      const Variable h = model.forward_cached({toks[static_cast<size_t>(t)]}, 1, cache);
+      const auto d = h.value().data();
+      bytes.insert(bytes.end(), d.begin(), d.end());
+    }
+    lane_bytes[lane++] = std::move(bytes);
+  }
+  ASSERT_EQ(lane_bytes[0].size(), lane_bytes[1].size());
+  EXPECT_EQ(0, std::memcmp(lane_bytes[0].data(), lane_bytes[1].data(),
+                           lane_bytes[0].size() * sizeof(float)));
+}
+
+TEST(KvCacheDifferential, ChunkedPrefillMatchesTokenByToken) {
+  // Prefill 5 tokens in one step, then decode 3 more one at a time; compare
+  // with the full causal forward over all 8.
+  const BertConfig cfg = small_config();
+  Generator gen(23);
+  BertModel model(cfg, gen);
+  const std::vector<int64_t> toks = token_stream(cfg, 1, 8, 2);
+
+  KvCache cache = model.make_cache(1);
+  const std::vector<int64_t> prompt(toks.begin(), toks.begin() + 5);
+  Variable h = model.forward_cached(prompt, 1, cache);
+  const Variable full5 = model.forward_causal(prompt, 1);
+  expect_bytes_equal(h.value(), full5.value(), "chunked prefill");
+
+  for (int64_t t = 5; t < 8; ++t) {
+    h = model.forward_cached({toks[static_cast<size_t>(t)]}, 1, cache);
+  }
+  const Variable full8 = model.forward_causal(toks, 1);
+  Tensor last{actcomp::tensor::Shape{1, 1, cfg.hidden}};
+  std::memcpy(last.data().data(),
+              full8.value().data().data() + static_cast<size_t>(7 * cfg.hidden),
+              static_cast<size_t>(cfg.hidden) * sizeof(float));
+  expect_bytes_equal(h.value(), last, "decode after chunked prefill");
+}
+
+TEST(KvCacheDifferential, RowLocalCompressionPreservesIdentity) {
+  // Quantization is row-local over hidden-sized rows, so it commutes with
+  // chunking and the differential survives with compressors attached. (Top-K
+  // selects globally over the whole tensor and intentionally does NOT.)
+  const BertConfig cfg = small_config();
+  Generator gen(29);
+  BertModel model(cfg, gen);
+  Generator cgen(31);
+  std::vector<actcomp::compress::CompressorPtr> comps;
+  for (int64_t i = 0; i < cfg.num_layers; ++i) {
+    comps.push_back(actcomp::compress::make_compressor(
+        actcomp::compress::Setting::kQ2, cfg.hidden, cgen));
+    comps.push_back(actcomp::compress::make_compressor(
+        actcomp::compress::Setting::kQ2, cfg.hidden, cgen));
+    model.set_layer_compression(i, comps[static_cast<size_t>(2 * i)].get(),
+                                comps[static_cast<size_t>(2 * i + 1)].get());
+  }
+  run_differential(model, cfg, /*batch=*/1, /*seq=*/8, /*salt=*/4);
+  model.clear_compression();
+}
+
+// ---- cache mechanics ----
+
+TEST(KvCache, CapacityGrowthPreservesCommittedRows) {
+  const BertConfig cfg = small_config();
+  Generator gen(37);
+  BertModel model(cfg, gen);
+  const std::vector<int64_t> toks = token_stream(cfg, 1, 20, 6);
+
+  // Tiny initial capacity: decoding 20 tokens forces repeated doubling.
+  KvCache grown = model.make_cache(1, 1);
+  KvCache roomy = model.make_cache(1, 64);
+  for (int64_t t = 0; t < 20; ++t) {
+    const std::vector<int64_t> step{toks[static_cast<size_t>(t)]};
+    const Variable a = model.forward_cached(step, 1, grown);
+    const Variable b = model.forward_cached(step, 1, roomy);
+    SCOPED_TRACE("token " + std::to_string(t));
+    expect_bytes_equal(a.value(), b.value(), "growth invariance");
+  }
+  EXPECT_GE(grown.capacity(), 20);
+  EXPECT_EQ(grown.len(), 20);
+}
+
+TEST(KvCache, RollbackReplaysIdentically) {
+  const BertConfig cfg = small_config();
+  Generator gen(41);
+  BertModel model(cfg, gen);
+  const std::vector<int64_t> toks = token_stream(cfg, 1, 10, 8);
+
+  KvCache cache = model.make_cache(1);
+  std::vector<Tensor> first_pass;
+  for (int64_t t = 0; t < 10; ++t) {
+    first_pass.push_back(
+        model.forward_cached({toks[static_cast<size_t>(t)]}, 1, cache).value());
+  }
+  // Roll back to position 4 and replay tokens 4..9: bytes must repeat.
+  cache.rollback(4);
+  EXPECT_EQ(cache.len(), 4);
+  for (int64_t t = 4; t < 10; ++t) {
+    const Variable redo = model.forward_cached({toks[static_cast<size_t>(t)]}, 1, cache);
+    SCOPED_TRACE("replayed token " + std::to_string(t));
+    expect_bytes_equal(redo.value(), first_pass[static_cast<size_t>(t)],
+                       "rollback replay");
+  }
+}
+
+TEST(KvCache, ResetReplaysFromScratch) {
+  const BertConfig cfg = small_config();
+  Generator gen(43);
+  BertModel model(cfg, gen);
+  const std::vector<int64_t> toks = token_stream(cfg, 1, 6, 12);
+
+  KvCache cache = model.make_cache(1);
+  const Variable once = model.forward_cached(toks, 1, cache);
+  cache.reset();
+  EXPECT_EQ(cache.len(), 0);
+  const Variable again = model.forward_cached(toks, 1, cache);
+  expect_bytes_equal(once.value(), again.value(), "reset replay");
+}
+
+TEST(KvCache, StepTransactionIsEnforced) {
+  KvCache cache(2, 1, 8);
+  Tensor kv{actcomp::tensor::Shape{1, 1, 8}};
+  EXPECT_THROW(cache.append(0, kv, kv), std::invalid_argument);  // no open step
+  EXPECT_THROW(cache.commit(), std::invalid_argument);
+  cache.begin_step(1);
+  EXPECT_THROW(cache.begin_step(1), std::invalid_argument);  // already open
+  cache.append(0, kv, kv);
+  EXPECT_THROW(cache.append(0, kv, kv), std::invalid_argument);  // twice
+  EXPECT_THROW(cache.commit(), std::invalid_argument);  // layer 1 missing
+  cache.append(1, kv, kv);
+  EXPECT_THROW(cache.rollback(0), std::invalid_argument);  // step open
+  cache.commit();
+  EXPECT_EQ(cache.len(), 1);
+  EXPECT_THROW(cache.rollback(2), std::invalid_argument);
+  EXPECT_THROW(cache.keys(0, 2), std::invalid_argument);
+  EXPECT_THROW(cache.keys(2, 0), std::invalid_argument);
+}
+
+TEST(KvCache, PositionsBeyondMaxSeqThrow) {
+  const BertConfig cfg = small_config();
+  Generator gen(47);
+  BertModel model(cfg, gen);
+  KvCache cache = model.make_cache(1);
+  std::vector<int64_t> toks(static_cast<size_t>(cfg.max_seq), 1);
+  model.forward_cached(toks, 1, cache);
+  EXPECT_THROW(model.forward_cached({1}, 1, cache), std::invalid_argument);
+}
+
+// ---- generate() ----
+
+TEST(Generate, EmptyPromptThrows) {
+  const BertConfig cfg = small_config();
+  Generator gen(53);
+  BertModel model(cfg, gen);
+  MlmHead head(cfg.hidden, cfg.vocab_size, gen);
+  EXPECT_THROW(greedy_generate(model, head, {}, 4), std::invalid_argument);
+}
+
+TEST(Generate, ZeroNewTokensIsGracefulNoOp) {
+  const BertConfig cfg = small_config();
+  Generator gen(59);
+  BertModel model(cfg, gen);
+  MlmHead head(cfg.hidden, cfg.vocab_size, gen);
+  const std::vector<int64_t> prompt{3, 1, 4};
+  const GenerateResult r = greedy_generate(model, head, prompt, 0);
+  EXPECT_EQ(r.tokens, prompt);
+  EXPECT_EQ(r.prompt_tokens, 3);
+  EXPECT_EQ(r.generated, 0);
+}
+
+TEST(Generate, BudgetBeyondMaxSeqThrows) {
+  const BertConfig cfg = small_config();
+  Generator gen(61);
+  BertModel model(cfg, gen);
+  MlmHead head(cfg.hidden, cfg.vocab_size, gen);
+  std::vector<int64_t> prompt(static_cast<size_t>(cfg.max_seq - 1), 2);
+  EXPECT_THROW(greedy_generate(model, head, prompt, 2), std::invalid_argument);
+}
+
+TEST(Generate, DeterministicAndInVocab) {
+  const BertConfig cfg = small_config();
+  Generator gen(67);
+  BertModel model(cfg, gen);
+  MlmHead head(cfg.hidden, cfg.vocab_size, gen);
+  const std::vector<int64_t> prompt{5, 9, 2, 7};
+  const GenerateResult a = greedy_generate(model, head, prompt, 6);
+  const GenerateResult b = greedy_generate(model, head, prompt, 6);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.generated, 6);
+  ASSERT_EQ(a.tokens.size(), prompt.size() + 6);
+  for (const int64_t t : a.tokens) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, cfg.vocab_size);
+  }
+  // The prompt survives verbatim at the front.
+  for (size_t i = 0; i < prompt.size(); ++i) EXPECT_EQ(a.tokens[i], prompt[i]);
+}
+
+}  // namespace
