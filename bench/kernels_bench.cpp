@@ -25,6 +25,7 @@
 #include "autograd/functions.h"
 #include "compress/quantize.h"
 #include "compress/topk.h"
+#include "core/simd.h"
 #include "core/threadpool.h"
 #include "nn/bert.h"
 #include "obs/report.h"
@@ -128,6 +129,40 @@ void bench_matmul(int64_t m, int64_t k, int64_t n, bool run_seed) {
   core::set_num_threads(1);
 }
 
+// One matmul2d record per SIMD tier the host supports, with the tier forced
+// via core::set_simd_isa. Op names carry the tier ("matmul2d_avx2"), so the
+// perf gate compares each tier against its own baseline and a dispatch
+// regression (e.g. silently landing in the scalar tier) shows up directly.
+void bench_matmul_tiers(int64_t m, int64_t k, int64_t n) {
+  ts::Generator gen(99);
+  const ts::Tensor a = gen.normal(ts::Shape{m, k});
+  const ts::Tensor b = gen.normal(ts::Shape{k, n});
+  const double flops = 2.0 * static_cast<double>(m) * k * n;
+  const double bytes = 4.0 * (static_cast<double>(m) * k +
+                              static_cast<double>(k) * n +
+                              static_cast<double>(m) * n);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld",
+                static_cast<long long>(m), static_cast<long long>(k),
+                static_cast<long long>(n));
+  const core::SimdIsa restore = core::simd_isa();
+  for (int t = 0; t <= static_cast<int>(core::detected_simd_isa()); ++t) {
+    const auto isa = static_cast<core::SimdIsa>(t);
+    core::set_simd_isa(isa);
+    const std::string op = std::string("matmul2d_") + core::simd_isa_name(isa);
+    for (int threads : {1, 4}) {
+      core::set_num_threads(threads);
+      const double tsec = best_of(3, [&] { ts::matmul2d(a, b); });
+      emit(op, shape, threads, tsec * 1e9, bytes / tsec / 1e9,
+           flops / tsec / 1e9);
+      std::printf("%-13s %-18s t=%d  %8.1f ms  %6.1f GFLOP/s\n", op.c_str(),
+                  shape, threads, tsec * 1e3, flops / tsec / 1e9);
+    }
+  }
+  core::set_simd_isa(restore);
+  core::set_num_threads(1);
+}
+
 template <typename C>
 void bench_compressor(const char* label, C& c, const ts::Tensor& x) {
   const double in_bytes = static_cast<double>(x.numel()) * 4.0;
@@ -215,6 +250,8 @@ int main(int argc, char** argv) {
   // (tokens x hidden x hidden) projections with tokens = 512. Quick mode
   // keeps one seeded shape and one larger hidden size.
   bench_matmul(512, 512, 512, /*run_seed=*/true);
+  std::printf("\n");
+  bench_matmul_tiers(512, 512, 512);
   if (!quick) {
     bench_matmul(768, 768, 768, /*run_seed=*/true);
     for (int64_t hidden : {768, 1024, 2048, 4096, 8192}) {
@@ -227,12 +264,18 @@ int main(int argc, char** argv) {
   std::printf("\n");
   {
     ts::Generator gen(11);
-    const ts::Tensor x =
-        gen.normal(quick ? ts::Shape{64, 16384} : ts::Shape{256, 16384});
+    // The 64x16384 shape runs in BOTH modes so `--quick` (the CI gate) and
+    // the full sweep (what baselines are committed from) share record keys.
+    const ts::Tensor xq = gen.normal(ts::Shape{64, 16384});
     cp::TopKCompressor topk(0.1);
-    bench_compressor("topk(0.1)", topk, x);
+    bench_compressor("topk(0.1)", topk, xq);
     cp::QuantizeCompressor quant(4);
-    bench_compressor("quant(4b)", quant, x);
+    bench_compressor("quant(4b)", quant, xq);
+    if (!quick) {
+      const ts::Tensor x = gen.normal(ts::Shape{256, 16384});
+      bench_compressor("topk(0.1)", topk, x);
+      bench_compressor("quant(4b)", quant, x);
+    }
   }
 
   std::printf("\n");

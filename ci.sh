@@ -6,9 +6,11 @@
 #   ./ci.sh docs      — markdown links resolve; EXPERIMENTS.md covers every
 #                       bench binary and names no binary that doesn't build
 #   ./ci.sh bench     — kernels_bench --quick through the RunReport schema,
-#                       the <2% profiler-overhead gate (DESIGN.md §11), and
-#                       the engine events/sec gate vs the committed baseline
-#                       (tools/check_engine_perf.py, >30% regression fails)
+#                       the <2% profiler-overhead gate (DESIGN.md §11), the
+#                       engine events/sec gate vs the committed baseline
+#                       (tools/check_engine_perf.py, >30% regression fails),
+#                       and the kernel throughput gate
+#                       (tools/check_kernel_perf.py, same threshold)
 # No arguments runs all in sequence.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -41,7 +43,17 @@ sanitize() {
   ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     ctest --test-dir build-asan \
-      -R 'golden|property|engine|topology|checkpoint|recovery|kv_cache|serving' \
+      -R 'golden|property|engine|topology|checkpoint|recovery|kv_cache|serving|Simd' \
+      --no-tests=error --output-on-failure -j "$jobs"
+  # The same slice once more with the kernel dispatch pinned to the scalar
+  # tier: the SIMD tiers must be a pure throughput change (DESIGN.md §15),
+  # so the byte-level suites have to pass identically with them disabled —
+  # and the scalar kernels get their own sanitizer coverage.
+  ACTCOMP_SIMD=scalar \
+  ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir build-asan \
+      -R 'golden|property|engine|topology|checkpoint|recovery|kv_cache|serving|Simd' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 
@@ -98,6 +110,15 @@ bench() {
   python3 tools/check_engine_perf.py \
     bench/baselines/BENCH_engine.json build/bench-ci/bench_engine.json \
     "${ACTCOMP_ENGINE_PERF_PCT:-30.0}"
+  # Kernel throughput gate: the profiler-off quick run above against the
+  # committed baseline (regenerate with `kernels_bench bench/baselines/
+  # BENCH_kernels.json` on a quiet box when the kernels legitimately
+  # change; keep the slower of repeated runs per record). Catches the
+  # dispatch landing in the wrong SIMD tier — that is a ~30x drop, so the
+  # 50% default rides out the reference box's frequency swings.
+  python3 tools/check_kernel_perf.py \
+    bench/baselines/BENCH_kernels.json build/bench-ci/bench_prof_off.json \
+    "${ACTCOMP_KERNEL_PERF_PCT:-50.0}"
 }
 
 case "${1:-all}" in

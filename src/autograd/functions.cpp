@@ -6,6 +6,7 @@
 
 #include "core/threadpool.h"
 #include "tensor/check.h"
+#include "tensor/kernels/kernel_table.h"
 #include "tensor/ops.h"
 
 namespace actcomp::autograd {
@@ -273,6 +274,76 @@ Variable sigmoid(const Variable& a) {
       "sigmoid");
 }
 
+Variable bias_act(const Variable& x, const Variable& b, Act act) {
+  if (act == Act::kNone) return add(x, b);
+  const ts::Tensor& xv = x.value();
+  const ts::Tensor& bv = b.value();
+  {
+    // Same right-aligned broadcast contract as add().
+    const int off = xv.rank() - bv.rank();
+    bool aligned = off >= 0;
+    for (int i = 0; aligned && i < bv.rank(); ++i) {
+      aligned = bv.dim(i) == xv.dim(i + off);
+    }
+    ACTCOMP_CHECK(aligned, "bias_act: shape " << bv.shape().str()
+                               << " does not right-align with "
+                               << xv.shape().str());
+  }
+
+  ts::Tensor pre;
+  ts::Tensor out;
+  if (act == Act::kGelu) {
+    // gelu's tanh body stays scalar (libm), so the fusion is tape-level
+    // only: the exact ts::add and ts::gelu kernels run, under one node.
+    pre = ts::add(xv, bv);
+    out = ts::gelu(pre);
+  } else {  // Act::kRelu — one pass writes pre (kept for backward) and out.
+    pre = ts::Tensor{xv.shape()};
+    out = ts::Tensor{xv.shape()};
+    const auto dx = xv.data();
+    const auto db = bv.data();
+    auto dp = pre.data();
+    auto dout = out.data();
+    const int64_t nb = bv.numel();
+    const int64_t n = static_cast<int64_t>(dx.size());
+    ACTCOMP_CHECK(nb > 0 || n == 0, "bias_act: empty broadcast operand");
+    const auto& kt = ts::kernels::active_kernels();
+    core::parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+      kt.ew_bias_relu(dx.data(), db.data(), dp.data(), dout.data(), lo, hi, nb);
+    });
+  }
+
+  const bool is_relu = act == Act::kRelu;
+  return Variable::make(
+      std::move(out), {x, b},
+      [xn = x.node(), bn = b.node(), pre, is_relu](Node& n) {
+        // Replicates the composition's backward byte for byte: the
+        // activation's vjp lands on the pre-activation, then the bias takes
+        // the broadcast-reduced copy.
+        ts::Tensor gy;
+        if (is_relu) {
+          gy = n.grad.clone();
+          auto dg = gy.data();
+          const auto dp = pre.data();
+          core::parallel_for(0, static_cast<int64_t>(dg.size()), kEwGrain,
+                             [&](int64_t b0, int64_t e0) {
+                               for (int64_t i = b0; i < e0; ++i) {
+                                 if (dp[static_cast<size_t>(i)] <= 0.0f) {
+                                   dg[static_cast<size_t>(i)] = 0.0f;
+                                 }
+                               }
+                             });
+        } else {
+          gy = ts::mul(n.grad, ts::gelu_grad(pre));
+        }
+        if (xn->requires_grad) xn->accumulate(gy);
+        if (bn->requires_grad) {
+          bn->accumulate(reduce_to_shape(gy, bn->value.shape()));
+        }
+      },
+      "bias_act");
+}
+
 Variable layernorm(const Variable& x, const Variable& gamma, const Variable& beta,
                    float eps) {
   const ts::Tensor& xv = x.value();
@@ -289,15 +360,9 @@ Variable layernorm(const Variable& x, const Variable& gamma, const Variable& bet
     auto dh = xhat.data();
     const auto dm = mo.mean.data();
     const auto dr = mo.rstd.data();
+    const auto& kt = ts::kernels::active_kernels();
     core::parallel_for(0, rows, row_grain(h), [&](int64_t r0, int64_t r1) {
-      for (int64_t r = r0; r < r1; ++r) {
-        const float m = dm[static_cast<size_t>(r)];
-        const float rs = dr[static_cast<size_t>(r)];
-        for (int64_t c = 0; c < h; ++c) {
-          const size_t i = static_cast<size_t>(r * h + c);
-          dh[i] = (dx[i] - m) * rs;
-        }
-      }
+      kt.ln_xhat(dx.data(), dm.data(), dr.data(), dh.data(), r0, r1, h);
     });
   }
   ts::Tensor out = ts::add(ts::mul(xhat, gamma.value()), beta.value());

@@ -35,6 +35,16 @@ Variable relu(const Variable& a);
 Variable tanh(const Variable& a);
 Variable sigmoid(const Variable& a);
 
+/// Activation applied by the fused bias epilogue.
+enum class Act { kNone, kRelu, kGelu };
+
+/// Fused y = act(x + bias), with bias broadcast right-aligned like add().
+/// Byte-identical to add(x, bias) followed by the activation — the same
+/// kernel expressions run and the backward accumulates the same terms —
+/// but the tape carries one node, and the ReLU path computes bias + clamp
+/// in a single fused pass (KernelTable::ew_bias_relu).
+Variable bias_act(const Variable& x, const Variable& bias, Act act);
+
 // ---- normalization / softmax ----
 Variable layernorm(const Variable& x, const Variable& gamma, const Variable& beta,
                    float eps = 1e-5f);

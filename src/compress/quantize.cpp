@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "compress/wire.h"
 #include "core/threadpool.h"
 #include "tensor/check.h"
 #include "tensor/fp16.h"
+#include "tensor/kernels/kernel_table.h"
 
 namespace actcomp::compress {
 
@@ -40,11 +42,8 @@ std::string QuantizeCompressor::name() const {
 
 QuantizeCompressor::RowParams QuantizeCompressor::row_params(const float* row,
                                                              int64_t cols) const {
-  float lo = row[0], hi = row[0];
-  for (int64_t c = 1; c < cols; ++c) {
-    lo = std::min(lo, row[c]);
-    hi = std::max(hi, row[c]);
-  }
+  float lo, hi;
+  tensor::kernels::active_kernels().row_minmax(row, cols, &lo, &hi);
   // Round the affine params through fp16 — that is what travels on the wire —
   // so round_trip matches decode(encode(x)) bit-for-bit.
   lo = tensor::fp16_bits_to_fp32(tensor::fp32_to_fp16_bits(lo));
@@ -76,7 +75,19 @@ CompressedMessage QuantizeCompressor::do_encode(const tensor::Tensor& x) {
         msg.body, tensor::fp32_to_fp16_bits(params[static_cast<size_t>(r)].scale));
   }
 
-  // Payload: bit-packed codes, little-endian within each byte.
+  // Payload: bit-packed codes, little-endian within each byte. Quantization
+  // is two-phase — the SIMD kernel fills a per-row code buffer, then an
+  // integer pass packs it — which produces the same bytes as the old fused
+  // per-element loop (the codes are identical; packing is pure bit logic).
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
+  const auto quantize_row = [&](const RowParams& p, int64_t r, uint8_t* qbuf) {
+    if (p.scale > 0.0f) {
+      kt.quant_quantize_row(d.data() + r * cols, cols, p.lo, p.scale, levels_,
+                            qbuf);
+    } else {
+      std::fill(qbuf, qbuf + cols, uint8_t{0});
+    }
+  };
   const int64_t row_bits = cols * bits_;
   if (row_bits % 8 == 0) {
     // Rows start on byte boundaries, so every row owns a disjoint byte
@@ -86,20 +97,18 @@ CompressedMessage QuantizeCompressor::do_encode(const tensor::Tensor& x) {
     msg.body.resize(static_cast<size_t>(header + payload));
     std::byte* base = msg.body.data() + header;
     core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+      std::vector<uint8_t> qbuf(static_cast<size_t>(cols));
       for (int64_t r = r0; r < r1; ++r) {
-        const RowParams& p = params[static_cast<size_t>(r)];
+        quantize_row(params[static_cast<size_t>(r)], r, qbuf.data());
         std::byte* dst = base + r * row_bytes;
+        if (bits_ == 8) {
+          std::memcpy(dst, qbuf.data(), static_cast<size_t>(cols));
+          continue;
+        }
         uint32_t acc = 0;
         int acc_bits = 0;
         for (int64_t c = 0; c < cols; ++c) {
-          uint32_t q = 0;
-          if (p.scale > 0.0f) {
-            const float normalized =
-                (d[static_cast<size_t>(r * cols + c)] - p.lo) / p.scale;
-            q = static_cast<uint32_t>(std::clamp(
-                std::lround(normalized), 0l, static_cast<long>(levels_ - 1)));
-          }
-          acc |= q << acc_bits;
+          acc |= static_cast<uint32_t>(qbuf[static_cast<size_t>(c)]) << acc_bits;
           acc_bits += bits_;
           while (acc_bits >= 8) {
             *dst++ = static_cast<std::byte>(acc & 0xFFu);
@@ -113,19 +122,14 @@ CompressedMessage QuantizeCompressor::do_encode(const tensor::Tensor& x) {
   }
 
   // Rows straddle byte boundaries: the accumulator threads through the whole
-  // tensor, so the pack stays serial.
+  // tensor, so the pack stays serial (the quantize kernel still runs per row).
+  std::vector<uint8_t> qbuf(static_cast<size_t>(cols));
   uint32_t acc = 0;
   int acc_bits = 0;
   for (int64_t r = 0; r < rows; ++r) {
-    const RowParams& p = params[static_cast<size_t>(r)];
+    quantize_row(params[static_cast<size_t>(r)], r, qbuf.data());
     for (int64_t c = 0; c < cols; ++c) {
-      uint32_t q = 0;
-      if (p.scale > 0.0f) {
-        const float normalized = (d[static_cast<size_t>(r * cols + c)] - p.lo) / p.scale;
-        q = static_cast<uint32_t>(std::clamp(
-            std::lround(normalized), 0l, static_cast<long>(levels_ - 1)));
-      }
-      acc |= q << acc_bits;
+      acc |= static_cast<uint32_t>(qbuf[static_cast<size_t>(c)]) << acc_bits;
       acc_bits += bits_;
       while (acc_bits >= 8) {
         wire::append_pod<uint8_t>(msg.body, static_cast<uint8_t>(acc & 0xFFu));
@@ -152,15 +156,26 @@ tensor::Tensor QuantizeCompressor::do_decode(const CompressedMessage& msg) const
   }
   const uint32_t mask = static_cast<uint32_t>(levels_ - 1);
   const int64_t row_bits = cols * bits_;
+  // Decode mirrors encode's two phases: unpack codes into a per-row byte
+  // buffer, then the SIMD kernel applies the affine map (same mul-then-add
+  // expression as the old fused loop, so the floats are bit-identical).
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
   if (row_bits % 8 == 0) {
     const int64_t row_bytes = row_bits / 8;
     ACTCOMP_CHECK(off + static_cast<size_t>(rows * row_bytes) <= msg.body.size(),
                   "truncated wire message");
     const std::byte* base = msg.body.data() + off;
     core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+      std::vector<uint8_t> qbuf(static_cast<size_t>(cols));
       for (int64_t r = r0; r < r1; ++r) {
         const RowParams& p = params[static_cast<size_t>(r)];
         const std::byte* src = base + r * row_bytes;
+        if (bits_ == 8) {
+          kt.quant_dequantize_row(reinterpret_cast<const uint8_t*>(src), cols,
+                                  p.lo, p.scale,
+                                  d.data() + r * cols);
+          continue;
+        }
         uint32_t acc = 0;
         int acc_bits = 0;
         for (int64_t c = 0; c < cols; ++c) {
@@ -168,16 +183,18 @@ tensor::Tensor QuantizeCompressor::do_decode(const CompressedMessage& msg) const
             acc |= static_cast<uint32_t>(static_cast<uint8_t>(*src++)) << acc_bits;
             acc_bits += 8;
           }
-          const uint32_t q = acc & mask;
+          qbuf[static_cast<size_t>(c)] = static_cast<uint8_t>(acc & mask);
           acc >>= bits_;
           acc_bits -= bits_;
-          d[static_cast<size_t>(r * cols + c)] = p.lo + static_cast<float>(q) * p.scale;
         }
+        kt.quant_dequantize_row(qbuf.data(), cols, p.lo, p.scale,
+                                d.data() + r * cols);
       }
     });
     return out;
   }
 
+  std::vector<uint8_t> qbuf(static_cast<size_t>(cols));
   uint32_t acc = 0;
   int acc_bits = 0;
   for (int64_t r = 0; r < rows; ++r) {
@@ -187,11 +204,12 @@ tensor::Tensor QuantizeCompressor::do_decode(const CompressedMessage& msg) const
         acc |= static_cast<uint32_t>(wire::read_pod<uint8_t>(msg.body, off)) << acc_bits;
         acc_bits += 8;
       }
-      const uint32_t q = acc & mask;
+      qbuf[static_cast<size_t>(c)] = static_cast<uint8_t>(acc & mask);
       acc >>= bits_;
       acc_bits -= bits_;
-      d[static_cast<size_t>(r * cols + c)] = p.lo + static_cast<float>(q) * p.scale;
     }
+    kt.quant_dequantize_row(qbuf.data(), cols, p.lo, p.scale,
+                            d.data() + r * cols);
   }
   return out;
 }
@@ -201,18 +219,18 @@ tensor::Tensor QuantizeCompressor::round_trip(const tensor::Tensor& x) {
   tensor::Tensor out{x.shape()};
   const auto din = x.data();
   auto dout = out.data();
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
   core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    std::vector<uint8_t> qbuf(static_cast<size_t>(cols));
     for (int64_t r = r0; r < r1; ++r) {
       const RowParams p = row_params(din.data() + r * cols, cols);
-      for (int64_t c = 0; c < cols; ++c) {
-        const size_t i = static_cast<size_t>(r * cols + c);
-        if (p.scale <= 0.0f) {
-          dout[i] = p.lo;
-        } else {
-          const long q = std::clamp(std::lround((din[i] - p.lo) / p.scale), 0l,
-                                    static_cast<long>(levels_ - 1));
-          dout[i] = p.lo + static_cast<float>(q) * p.scale;
-        }
+      if (p.scale <= 0.0f) {
+        std::fill(dout.data() + r * cols, dout.data() + (r + 1) * cols, p.lo);
+      } else {
+        kt.quant_quantize_row(din.data() + r * cols, cols, p.lo, p.scale,
+                              levels_, qbuf.data());
+        kt.quant_dequantize_row(qbuf.data(), cols, p.lo, p.scale,
+                                dout.data() + r * cols);
       }
     }
   });

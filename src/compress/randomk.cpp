@@ -10,6 +10,7 @@
 #include "core/threadpool.h"
 #include "tensor/check.h"
 #include "tensor/fp16.h"
+#include "tensor/kernels/kernel_table.h"
 #include "tensor/ops.h"
 
 namespace actcomp::compress {
@@ -49,14 +50,21 @@ CompressedMessage RandomKCompressor::do_encode(const tensor::Tensor& x) {
   const auto d = x.data();
   std::byte* idx_base = msg.body.data();
   std::byte* val_base = msg.body.data() + static_cast<size_t>(k) * 4;
+  // Gather kept values per chunk, batch-convert through the SIMD fp16
+  // kernel (same bit converter, same wire bytes).
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
   core::parallel_for(0, k, kEwGrain, [&](int64_t b, int64_t e) {
+    const int64_t len = e - b;
+    std::vector<float> vals(static_cast<size_t>(len));
+    std::vector<uint16_t> half(static_cast<size_t>(len));
     for (int64_t i = b; i < e; ++i) {
       const int64_t src = kept[static_cast<size_t>(i)];
       const int32_t j = static_cast<int32_t>(src);
       std::memcpy(idx_base + i * 4, &j, 4);
-      const uint16_t v = tensor::fp32_to_fp16_bits(d[static_cast<size_t>(src)]);
-      std::memcpy(val_base + i * 2, &v, 2);
+      vals[static_cast<size_t>(i - b)] = d[static_cast<size_t>(src)];
     }
+    kt.fp16_encode(vals.data(), half.data(), len);
+    std::memcpy(val_base + b * 2, half.data(), static_cast<size_t>(len) * 2);
   });
   return msg;
 }
@@ -72,15 +80,20 @@ tensor::Tensor RandomKCompressor::do_decode(const CompressedMessage& msg) const 
   const std::byte* val_base = msg.body.data() + static_cast<size_t>(k) * 4;
   const int64_t numel = shape.numel();
   // Sampling is without replacement, so wire indices are unique and the
-  // parallel scatter writes disjoint elements.
+  // parallel scatter writes disjoint elements. Values batch-decode through
+  // the SIMD fp16 kernel.
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
   core::parallel_for(0, k, kEwGrain, [&](int64_t b, int64_t e) {
+    const int64_t len = e - b;
+    std::vector<uint16_t> half(static_cast<size_t>(len));
+    std::vector<float> vals(static_cast<size_t>(len));
+    std::memcpy(half.data(), val_base + b * 2, static_cast<size_t>(len) * 2);
+    kt.fp16_decode(half.data(), vals.data(), len);
     for (int64_t i = b; i < e; ++i) {
       int32_t j = 0;
       std::memcpy(&j, idx_base + i * 4, 4);
-      uint16_t bits = 0;
-      std::memcpy(&bits, val_base + i * 2, 2);
       ACTCOMP_CHECK(j >= 0 && j < numel, "random-k index out of range on wire");
-      d[static_cast<size_t>(j)] = tensor::fp16_bits_to_fp32(bits);
+      d[static_cast<size_t>(j)] = vals[static_cast<size_t>(i - b)];
     }
   });
   return out;
@@ -96,11 +109,19 @@ autograd::Variable RandomKCompressor::apply(const autograd::Variable& x) {
   const auto din = xv.data();
   auto dout = out.data();
   auto dm = mask.data();
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
   core::parallel_for(
       0, static_cast<int64_t>(kept.size()), kEwGrain, [&](int64_t b, int64_t e) {
+        const int64_t len = e - b;
+        std::vector<float> vals(static_cast<size_t>(len));
+        for (int64_t i = b; i < e; ++i) {
+          vals[static_cast<size_t>(i - b)] =
+              din[static_cast<size_t>(kept[static_cast<size_t>(i)])];
+        }
+        kt.fp16_round_trip(vals.data(), vals.data(), len);
         for (int64_t i = b; i < e; ++i) {
           const size_t j = static_cast<size_t>(kept[static_cast<size_t>(i)]);
-          dout[j] = tensor::fp16_bits_to_fp32(tensor::fp32_to_fp16_bits(din[j]));
+          dout[j] = vals[static_cast<size_t>(i - b)];
           dm[j] = 1.0f;
         }
       });

@@ -10,6 +10,7 @@
 #include "core/threadpool.h"
 #include "tensor/check.h"
 #include "tensor/fp16.h"
+#include "tensor/kernels/kernel_table.h"
 
 namespace actcomp::compress {
 
@@ -47,12 +48,23 @@ std::vector<int64_t> TopKCompressor::select(const tensor::Tensor& x) const {
   const int64_t n = x.numel();
   const int64_t k = k_for(n);
   const auto d = x.data();
+  // Magnitudes are precomputed by the SIMD abs kernel so the comparator is
+  // a plain buffer read. ew_abs clears the sign bit exactly like fabs, so
+  // the comparator sees the same floats — and picks the same set — as the
+  // old on-the-fly version.
+  std::vector<float> mag(static_cast<size_t>(n));
+  {
+    const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
+    core::parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+      kt.ew_abs(d.data(), mag.data(), lo, hi);
+    });
+  }
   // Strict total order: |magnitude| descending, index ascending as the
   // tie-break. Under a total order the top-k *set* is unique, which is what
   // makes the chunked pass below exact rather than approximate.
   const auto before = [&](int64_t a, int64_t b) {
-    const float fa = std::fabs(d[static_cast<size_t>(a)]);
-    const float fb = std::fabs(d[static_cast<size_t>(b)]);
+    const float fa = mag[static_cast<size_t>(a)];
+    const float fb = mag[static_cast<size_t>(b)];
     if (fa != fb) return fa > fb;
     return a < b;
   };
@@ -110,14 +122,21 @@ CompressedMessage TopKCompressor::do_encode(const tensor::Tensor& x) {
   const auto d = x.data();
   std::byte* idx_base = msg.body.data();
   std::byte* val_base = msg.body.data() + static_cast<size_t>(k) * 4;
+  // Gather the kept values per chunk, then batch-convert through the SIMD
+  // fp16 kernel (same bit converter, same wire bytes).
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
   core::parallel_for(0, k, kEwGrain, [&](int64_t b, int64_t e) {
+    const int64_t len = e - b;
+    std::vector<float> vals(static_cast<size_t>(len));
+    std::vector<uint16_t> half(static_cast<size_t>(len));
     for (int64_t i = b; i < e; ++i) {
       const int32_t j = static_cast<int32_t>(kept[static_cast<size_t>(i)]);
       std::memcpy(idx_base + i * 4, &j, 4);
-      const uint16_t v =
-          tensor::fp32_to_fp16_bits(d[static_cast<size_t>(kept[static_cast<size_t>(i)])]);
-      std::memcpy(val_base + i * 2, &v, 2);
+      vals[static_cast<size_t>(i - b)] =
+          d[static_cast<size_t>(kept[static_cast<size_t>(i)])];
     }
+    kt.fp16_encode(vals.data(), half.data(), len);
+    std::memcpy(val_base + b * 2, half.data(), static_cast<size_t>(len) * 2);
   });
   return msg;
 }
@@ -133,15 +152,20 @@ tensor::Tensor TopKCompressor::do_decode(const CompressedMessage& msg) const {
   const std::byte* val_base = msg.body.data() + static_cast<size_t>(k) * 4;
   const int64_t numel = shape.numel();
   // The encoder emits strictly ascending, unique indices, so per-element
-  // writes are disjoint and the scatter parallelizes cleanly.
+  // writes are disjoint and the scatter parallelizes cleanly. Values are
+  // batch-decoded through the SIMD fp16 kernel, then scattered.
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
   core::parallel_for(0, k, kEwGrain, [&](int64_t b, int64_t e) {
+    const int64_t len = e - b;
+    std::vector<uint16_t> half(static_cast<size_t>(len));
+    std::vector<float> vals(static_cast<size_t>(len));
+    std::memcpy(half.data(), val_base + b * 2, static_cast<size_t>(len) * 2);
+    kt.fp16_decode(half.data(), vals.data(), len);
     for (int64_t i = b; i < e; ++i) {
       int32_t j = 0;
       std::memcpy(&j, idx_base + i * 4, 4);
-      uint16_t bits = 0;
-      std::memcpy(&bits, val_base + i * 2, 2);
       ACTCOMP_CHECK(j >= 0 && j < numel, "top-k index out of range on wire");
-      d[static_cast<size_t>(j)] = tensor::fp16_bits_to_fp32(bits);
+      d[static_cast<size_t>(j)] = vals[static_cast<size_t>(i - b)];
     }
   });
   return out;
@@ -152,12 +176,21 @@ tensor::Tensor TopKCompressor::round_trip(const tensor::Tensor& x) {
   const auto din = x.data();
   auto dout = out.data();
   const std::vector<int64_t> kept = select(x);
+  // fp16 on the wire, so round kept values through fp16 too (gather,
+  // batch round-trip through the SIMD kernel, scatter back).
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_kernels();
   core::parallel_for(
       0, static_cast<int64_t>(kept.size()), kEwGrain, [&](int64_t b, int64_t e) {
+        const int64_t len = e - b;
+        std::vector<float> vals(static_cast<size_t>(len));
         for (int64_t i = b; i < e; ++i) {
-          const size_t j = static_cast<size_t>(kept[static_cast<size_t>(i)]);
-          // fp16 on the wire, so round kept values through fp16 too.
-          dout[j] = tensor::fp16_bits_to_fp32(tensor::fp32_to_fp16_bits(din[j]));
+          vals[static_cast<size_t>(i - b)] =
+              din[static_cast<size_t>(kept[static_cast<size_t>(i)])];
+        }
+        kt.fp16_round_trip(vals.data(), vals.data(), len);
+        for (int64_t i = b; i < e; ++i) {
+          dout[static_cast<size_t>(kept[static_cast<size_t>(i)])] =
+              vals[static_cast<size_t>(i - b)];
         }
       });
   return out;

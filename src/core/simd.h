@@ -1,0 +1,37 @@
+// Runtime CPU dispatch for the SIMD kernel layer (DESIGN.md §15).
+//
+// The kernel tier is picked once, at first use: cpuid (via
+// __builtin_cpu_supports) decides the widest tier the host can run, and the
+// ACTCOMP_SIMD env var (scalar|avx2|avx512) can force a narrower one for
+// testing and benchmarking. A forced tier is always clamped to what the
+// host actually supports — asking for avx512 on an AVX2 box silently runs
+// the AVX2 tier, so a stray env var can never SIGILL.
+//
+// Every tier computes bit-identical results for finite inputs (the
+// contract the per-ISA kernels in tensor/kernels are written against), so
+// switching tiers moves throughput, never bytes.
+#pragma once
+
+namespace actcomp::core {
+
+/// Kernel tiers, narrowest to widest. Values are contiguous and used as
+/// indices into the dispatch table.
+enum class SimdIsa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// The active tier: min(detected, ACTCOMP_SIMD override, set_simd_isa()).
+SimdIsa simd_isa();
+
+/// The widest tier the host supports, ignoring overrides.
+SimdIsa detected_simd_isa();
+
+/// Test/bench hook: force the active tier (clamped to detected). Not safe
+/// to call concurrently with in-flight kernels.
+void set_simd_isa(SimdIsa isa);
+
+/// "scalar", "avx2", or "avx512".
+const char* simd_isa_name(SimdIsa isa);
+
+/// The raw ACTCOMP_SIMD env value, or "" when unset.
+const char* simd_override();
+
+}  // namespace actcomp::core

@@ -232,7 +232,7 @@ ag::Variable MlmHead::forward(const ag::Variable& seq_out) const {
   ACTCOMP_CHECK(v.rank() == 3, "MLM head expects [b, s, h], got " << v.shape().str());
   const int64_t b = v.dim(0), s = v.dim(1), h = v.dim(2);
   ag::Variable flat = ag::reshape(seq_out, ts::Shape{b * s, h});
-  ag::Variable t = ln_.forward(ag::gelu(transform_.forward(flat)));
+  ag::Variable t = ln_.forward(transform_.forward(flat, ag::Act::kGelu));
   return decoder_.forward(t);
 }
 

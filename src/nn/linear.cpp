@@ -20,12 +20,21 @@ Linear::Linear(int64_t in_features, int64_t out_features, tensor::Generator& gen
   }
 }
 
-autograd::Variable Linear::forward(const autograd::Variable& x) const {
+autograd::Variable Linear::forward(const autograd::Variable& x,
+                                   autograd::Act act) const {
   ACTCOMP_CHECK(x.value().dim(-1) == in_,
                 "linear expects last dim " << in_ << ", got "
                                            << x.value().shape().str());
   autograd::Variable y = autograd::matmul(x, weight_);
-  if (bias_.defined()) y = autograd::add(y, bias_);
+  if (bias_.defined()) return autograd::bias_act(y, bias_, act);
+  switch (act) {
+    case autograd::Act::kRelu:
+      return autograd::relu(y);
+    case autograd::Act::kGelu:
+      return autograd::gelu(y);
+    case autograd::Act::kNone:
+      break;
+  }
   return y;
 }
 

@@ -1,6 +1,7 @@
 // Linear (dense) layer: y = x W + b.
 #pragma once
 
+#include "autograd/functions.h"
 #include "nn/module.h"
 #include "tensor/random.h"
 
@@ -11,8 +12,10 @@ class Linear final : public Module {
   Linear(int64_t in_features, int64_t out_features, tensor::Generator& gen,
          bool bias = true);
 
-  /// x: [..., in_features] -> [..., out_features].
-  autograd::Variable forward(const autograd::Variable& x) const;
+  /// x: [..., in_features] -> [..., out_features]. When `act` is not kNone
+  /// the activation fuses with the bias into one tape node (bias_act).
+  autograd::Variable forward(const autograd::Variable& x,
+                             autograd::Act act = autograd::Act::kNone) const;
 
   std::vector<NamedParam> named_parameters() const override;
 

@@ -32,8 +32,9 @@ ag::Variable TransformerEncoderLayer::forward(const ag::Variable& x,
   a = ag::dropout(a, cfg_.dropout, gen, training);
   ag::Variable h1 = ln1_.forward(ag::add(x, a));
 
-  // MLP block; compress where TP would all-reduce its output.
-  ag::Variable m = mlp_out_.forward(ag::gelu(mlp_in_.forward(h1)));
+  // MLP block; compress where TP would all-reduce its output. The gelu
+  // fuses into mlp_in's bias epilogue (one tape node, same bytes).
+  ag::Variable m = mlp_out_.forward(mlp_in_.forward(h1, ag::Act::kGelu));
   if (mlp_comm_ != nullptr) m = mlp_comm_->apply(m);
   m = ag::dropout(m, cfg_.dropout, gen, training);
   return ln2_.forward(ag::add(h1, m));
@@ -43,7 +44,7 @@ ag::Variable TransformerEncoderLayer::finish_inference(const ag::Variable& x,
                                                        ag::Variable a) const {
   if (attn_comm_ != nullptr) a = attn_comm_->apply(a);
   ag::Variable h1 = ln1_.forward(ag::add(x, a));
-  ag::Variable m = mlp_out_.forward(ag::gelu(mlp_in_.forward(h1)));
+  ag::Variable m = mlp_out_.forward(mlp_in_.forward(h1, ag::Act::kGelu));
   if (mlp_comm_ != nullptr) m = mlp_comm_->apply(m);
   return ln2_.forward(ag::add(h1, m));
 }

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/simd.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
 
@@ -86,6 +87,12 @@ json::Value RunReport::to_json() const {
   json::Value hw = json::Value::object();
   hw.set("hw_concurrency",
          static_cast<int64_t>(std::thread::hardware_concurrency()));
+  // Which SIMD tier the kernels actually dispatched to (DESIGN.md §15):
+  // simd_isa is what ran, simd_detected what the host supports, and
+  // simd_override the raw ACTCOMP_SIMD value ("" when unset).
+  hw.set("simd_isa", core::simd_isa_name(core::simd_isa()));
+  hw.set("simd_detected", core::simd_isa_name(core::detected_simd_isa()));
+  hw.set("simd_override", core::simd_override());
   root.set("hardware", std::move(hw));
   if (config_.size() > 0) root.set("config", config_);
   if (phases_.size() > 0) root.set("phases", phases_);

@@ -1,74 +1,15 @@
 #include "tensor/fp16.h"
 
-#include <bit>
-#include <cstring>
+#include "tensor/kernels/kernel_table.h"
 
 namespace actcomp::tensor {
-
-uint16_t fp32_to_fp16_bits(float v) {
-  const uint32_t x = std::bit_cast<uint32_t>(v);
-  const uint32_t sign = (x >> 16) & 0x8000u;
-  const int32_t exp = static_cast<int32_t>((x >> 23) & 0xFFu) - 127 + 15;
-  uint32_t mant = x & 0x7FFFFFu;
-
-  if (((x >> 23) & 0xFFu) == 0xFFu) {  // inf / nan
-    return static_cast<uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
-  }
-  if (exp >= 0x1F) {  // overflow -> inf
-    return static_cast<uint16_t>(sign | 0x7C00u);
-  }
-  if (exp <= 0) {  // subnormal or zero
-    if (exp < -10) return static_cast<uint16_t>(sign);  // underflow to zero
-    mant |= 0x800000u;                                  // implicit leading 1
-    const int shift = 14 - exp;                         // in [14, 24]
-    const uint32_t half = mant >> shift;
-    const uint32_t rem = mant & ((1u << shift) - 1);
-    const uint32_t halfway = 1u << (shift - 1);
-    uint32_t rounded = half;
-    if (rem > halfway || (rem == halfway && (half & 1u))) ++rounded;
-    return static_cast<uint16_t>(sign | rounded);
-  }
-  // Normal: round mantissa from 23 to 10 bits, round-to-nearest-even.
-  uint32_t half = mant >> 13;
-  const uint32_t rem = mant & 0x1FFFu;
-  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
-  uint32_t out = (static_cast<uint32_t>(exp) << 10) + half;  // carry may bump exp
-  return static_cast<uint16_t>(sign | out);
-}
-
-float fp16_bits_to_fp32(uint16_t bits) {
-  const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
-  const uint32_t exp = (bits >> 10) & 0x1Fu;
-  const uint32_t mant = bits & 0x3FFu;
-  uint32_t out;
-  if (exp == 0) {
-    if (mant == 0) {
-      out = sign;  // +/- 0
-    } else {
-      // Subnormal: normalize.
-      int e = -1;
-      uint32_t m = mant;
-      while ((m & 0x400u) == 0) {
-        m <<= 1;
-        ++e;
-      }
-      out = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
-    }
-  } else if (exp == 0x1Fu) {
-    out = sign | 0x7F800000u | (mant << 13);  // inf / nan
-  } else {
-    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
-  }
-  return std::bit_cast<float>(out);
-}
 
 Tensor fp16_round(const Tensor& t) {
   Tensor out(t.shape());
   const auto din = t.data();
   auto dout = out.data();
-  for (size_t i = 0; i < din.size(); ++i) {
-    dout[i] = fp16_bits_to_fp32(fp32_to_fp16_bits(din[i]));
-  }
+  kernels::active_kernels().fp16_round_trip(din.data(), dout.data(),
+                                            static_cast<int64_t>(din.size()));
   return out;
 }
 

@@ -1,0 +1,105 @@
+// Per-ISA microkernel dispatch table (DESIGN.md §15).
+//
+// Every hot inner loop in tensor/ and compress/ is a raw-pointer kernel
+// behind this table; `active_kernels()` returns the table for the tier
+// `core::simd_isa()` currently selects (scalar, AVX2, or AVX-512). The
+// per-ISA translation units are compiled with explicit -mavx2/-mavx512f
+// flags (never -march=native), so one binary carries every tier and picks
+// at runtime — release builds no longer depend on the build host's ISA.
+//
+// Identity contract: for finite inputs, every entry produces bytes
+// identical to the scalar tier. The mechanics:
+//   * No FMA anywhere (all kernel TUs are -ffp-contract=off, and the SIMD
+//     kernels spell mul-then-add explicitly), so per-element rounding
+//     matches the documented scalar order.
+//   * Accumulations keep the scalar order (GEMM walks k ascending per C
+//     element; moments accumulate columns ascending with one row per SIMD
+//     lane), which is lane-count independent.
+//   * Where an ISA genuinely cannot match scalar semantics bit-for-bit —
+//     F16C on NaN payloads, min/max ties against ±0 — the SIMD kernel
+//     detects the case and falls back to the scalar path for that block.
+// Kernels that take a [lo, hi) range operate on the caller's parallel_for
+// chunk, so chunk boundaries (and thus 1-vs-N-thread identity) are owned
+// by the caller exactly as before.
+#pragma once
+
+#include <cstdint>
+
+namespace actcomp::tensor::kernels {
+
+struct KernelTable {
+  // Tier this table implements ("scalar" | "avx2" | "avx512").
+  const char* name;
+
+  // ---- GEMM ----
+  // c (m x n, zero-initialized) += a (m x k) * b (k x n). Packs B into
+  // panels, parallelizes rows, walks k ascending per C element.
+  void (*gemm_into)(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n);
+  // Streaming i-k-j kernel for shapes below the packing threshold; serial.
+  void (*gemm_simple)(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n);
+
+  // ---- elementwise (i in [lo, hi); b index is i % nb, nb == len(a) for
+  // same-shape operands) ----
+  void (*ew_add)(const float* a, const float* b, float* out, int64_t lo,
+                 int64_t hi, int64_t nb);
+  void (*ew_sub)(const float* a, const float* b, float* out, int64_t lo,
+                 int64_t hi, int64_t nb);
+  void (*ew_mul)(const float* a, const float* b, float* out, int64_t lo,
+                 int64_t hi, int64_t nb);
+  void (*ew_div)(const float* a, const float* b, float* out, int64_t lo,
+                 int64_t hi, int64_t nb);
+  void (*ew_add_scalar)(const float* a, float s, float* out, int64_t lo,
+                        int64_t hi);
+  void (*ew_mul_scalar)(const float* a, float s, float* out, int64_t lo,
+                        int64_t hi);
+  void (*ew_sub_scalar)(const float* a, float s, float* out, int64_t lo,
+                        int64_t hi);
+  void (*ew_neg)(const float* a, float* out, int64_t lo, int64_t hi);
+  void (*ew_abs)(const float* a, float* out, int64_t lo, int64_t hi);
+  void (*ew_sqrt)(const float* a, float* out, int64_t lo, int64_t hi);
+  void (*ew_relu)(const float* a, float* out, int64_t lo, int64_t hi);
+  void (*ew_scale)(float* x, float s, int64_t lo, int64_t hi);  // x[i] *= s
+  // Fused bias + ReLU epilogue: pre[i] = x[i] + b[i % nb]; out[i] =
+  // max(pre[i], 0). pre is kept for the byte-exact backward.
+  void (*ew_bias_relu)(const float* x, const float* b, float* pre, float* out,
+                       int64_t lo, int64_t hi, int64_t nb);
+
+  // ---- row reductions ----
+  // max over x[0..n) with the scalar tie/NaN semantics (-inf for n == 0).
+  float (*row_max)(const float* x, int64_t n);
+  // min/max over x[0..n), n >= 1, matching the serial first-wins scan.
+  void (*row_minmax)(const float* x, int64_t n, float* lo_out, float* hi_out);
+  // Per-row mean / 1/sqrt(var + eps) for rows [r0, r1): double
+  // accumulation, columns ascending (the layernorm statistics pass).
+  void (*rows_moments)(const float* x, int64_t r0, int64_t r1, int64_t cols,
+                       float eps, float* mean, float* rstd);
+  // out[r, c] = (x[r, c] - mean[r]) * rstd[r] for rows [r0, r1).
+  void (*ln_xhat)(const float* x, const float* mean, const float* rstd,
+                  float* out, int64_t r0, int64_t r1, int64_t cols);
+
+  // ---- fp16 (IEEE binary16; identical to tensor/fp16.h bit for bit,
+  // including round-to-nearest-even, overflow to inf, and the canonical
+  // NaN the software converter emits) ----
+  void (*fp16_encode)(const float* in, uint16_t* out, int64_t n);
+  void (*fp16_decode)(const uint16_t* in, float* out, int64_t n);
+  void (*fp16_round_trip)(const float* in, float* out, int64_t n);
+
+  // ---- quantization (affine, per row; scale > 0) ----
+  // q[c] = clamp(lround((row[c] - lo) / scale), 0, levels - 1).
+  void (*quant_quantize_row)(const float* row, int64_t cols, float lo,
+                             float scale, int levels, uint8_t* q);
+  // out[c] = lo + q[c] * scale.
+  void (*quant_dequantize_row)(const uint8_t* q, int64_t cols, float lo,
+                               float scale, float* out);
+};
+
+/// The table for the currently active tier (core::simd_isa()).
+const KernelTable& active_kernels();
+
+/// The table for a specific tier index (0 = scalar, 1 = avx2, 2 = avx512);
+/// tiers the build or host lacks alias the widest available narrower tier.
+const KernelTable& kernels_for_tier(int tier);
+
+}  // namespace actcomp::tensor::kernels

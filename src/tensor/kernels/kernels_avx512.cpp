@@ -1,0 +1,382 @@
+// AVX-512 kernel tier. Compiled with -mavx512f -mavx2 -mf16c -O3
+// -ffp-contract=off; selected at runtime only when cpuid reports AVX-512F
+// (core/simd.cpp). Foundation instructions only — no BW/DQ/VL — so the
+// 16-bit lane work (fp16 NaN screening, quantizer byte packing) stays on
+// the 128/256-bit units via the shared avx2 implementations, which this TU
+// compiles as its own internal copies.
+#include "tensor/kernels/tiers.h"
+
+#if defined(__AVX512F__) && defined(__AVX2__) && defined(__F16C__)
+
+#include <immintrin.h>
+
+#include "tensor/kernels/gemm_common.h"
+#include "tensor/kernels/kernels_avx2_inl.h"
+#include "tensor/kernels/kernels_generic.h"
+
+namespace actcomp::tensor::kernels {
+namespace avx512i {
+
+namespace {  // internal types: keep template instantiations TU-local
+
+struct AddOp {
+  static __m512 v(__m512 x, __m512 y) { return _mm512_add_ps(x, y); }
+  static float s(float x, float y) { return x + y; }
+};
+struct SubOp {
+  static __m512 v(__m512 x, __m512 y) { return _mm512_sub_ps(x, y); }
+  static float s(float x, float y) { return x - y; }
+};
+struct MulOp {
+  static __m512 v(__m512 x, __m512 y) { return _mm512_mul_ps(x, y); }
+  static float s(float x, float y) { return x * y; }
+};
+struct DivOp {
+  static __m512 v(__m512 x, __m512 y) { return _mm512_div_ps(x, y); }
+  static float s(float x, float y) { return x / y; }
+};
+
+// 8x32 micro-tile: 16 zmm accumulators + 2 B columns + 1 broadcast = 19 of
+// the 32 zmm registers. Same kKC/kRowGrain and per-element ascending-k sum
+// as the other tiers, so the bytes match despite the different tile shape.
+struct Avx512GemmPolicy {
+  static constexpr int64_t kNR = 32;
+  static constexpr int64_t kMR = 8;
+
+  template <int MR, bool FIRST>
+  static void micro(const float* a, int64_t lda, const float* panel, float* c,
+                    int64_t ldc, int64_t kc) {
+    __m512 acc[MR][2];
+    for (int r = 0; r < MR; ++r) {
+      if (FIRST) {
+        acc[r][0] = _mm512_setzero_ps();
+        acc[r][1] = _mm512_setzero_ps();
+      } else {
+        acc[r][0] = _mm512_loadu_ps(c + r * ldc);
+        acc[r][1] = _mm512_loadu_ps(c + r * ldc + 16);
+      }
+    }
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const __m512 b0 = _mm512_loadu_ps(panel + kk * kNR);
+      const __m512 b1 = _mm512_loadu_ps(panel + kk * kNR + 16);
+      for (int r = 0; r < MR; ++r) {
+        const __m512 av = _mm512_set1_ps(a[r * lda + kk]);
+        acc[r][0] = _mm512_add_ps(acc[r][0], _mm512_mul_ps(av, b0));
+        acc[r][1] = _mm512_add_ps(acc[r][1], _mm512_mul_ps(av, b1));
+      }
+    }
+    for (int r = 0; r < MR; ++r) {
+      _mm512_storeu_ps(c + r * ldc, acc[r][0]);
+      _mm512_storeu_ps(c + r * ldc + 16, acc[r][1]);
+    }
+  }
+};
+
+}  // namespace
+
+// ---- elementwise ----
+
+template <class Op>
+static inline void ew_binary_v(const float* a, const float* b, float* out,
+                               int64_t lo, int64_t hi, int64_t nb) {
+  if (hi <= nb) {
+    int64_t i = lo;
+    for (; i + 16 <= hi; i += 16) {
+      _mm512_storeu_ps(
+          out + i, Op::v(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i)));
+    }
+    for (; i < hi; ++i) out[i] = Op::s(a[i], b[i]);
+    return;
+  }
+  int64_t i = lo;
+  while (i < hi) {
+    const int64_t boff = i % nb;
+    const int64_t seg = std::min(hi, i + (nb - boff));
+    int64_t j = i;
+    for (; j + 16 <= seg; j += 16) {
+      _mm512_storeu_ps(out + j, Op::v(_mm512_loadu_ps(a + j),
+                                      _mm512_loadu_ps(b + boff + (j - i))));
+    }
+    for (; j < seg; ++j) out[j] = Op::s(a[j], b[boff + (j - i)]);
+    i = seg;
+  }
+}
+
+static inline void ew_add(const float* a, const float* b, float* out,
+                          int64_t lo, int64_t hi, int64_t nb) {
+  ew_binary_v<AddOp>(a, b, out, lo, hi, nb);
+}
+static inline void ew_sub(const float* a, const float* b, float* out,
+                          int64_t lo, int64_t hi, int64_t nb) {
+  ew_binary_v<SubOp>(a, b, out, lo, hi, nb);
+}
+static inline void ew_mul(const float* a, const float* b, float* out,
+                          int64_t lo, int64_t hi, int64_t nb) {
+  ew_binary_v<MulOp>(a, b, out, lo, hi, nb);
+}
+static inline void ew_div(const float* a, const float* b, float* out,
+                          int64_t lo, int64_t hi, int64_t nb) {
+  ew_binary_v<DivOp>(a, b, out, lo, hi, nb);
+}
+
+template <class Op>
+static inline void ew_scalar_v(const float* a, float s, float* out, int64_t lo,
+                               int64_t hi) {
+  const __m512 vs = _mm512_set1_ps(s);
+  int64_t i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    _mm512_storeu_ps(out + i, Op::v(_mm512_loadu_ps(a + i), vs));
+  }
+  for (; i < hi; ++i) out[i] = Op::s(a[i], s);
+}
+
+static inline void ew_add_scalar(const float* a, float s, float* out,
+                                 int64_t lo, int64_t hi) {
+  ew_scalar_v<AddOp>(a, s, out, lo, hi);
+}
+static inline void ew_mul_scalar(const float* a, float s, float* out,
+                                 int64_t lo, int64_t hi) {
+  ew_scalar_v<MulOp>(a, s, out, lo, hi);
+}
+static inline void ew_sub_scalar(const float* a, float s, float* out,
+                                 int64_t lo, int64_t hi) {
+  ew_scalar_v<SubOp>(a, s, out, lo, hi);
+}
+
+static inline void ew_neg(const float* a, float* out, int64_t lo, int64_t hi) {
+  const __m512i sign = _mm512_set1_epi32(static_cast<int>(0x80000000u));
+  int64_t i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    _mm512_storeu_ps(out + i,
+                     _mm512_castsi512_ps(_mm512_xor_epi32(
+                         _mm512_castps_si512(_mm512_loadu_ps(a + i)), sign)));
+  }
+  for (; i < hi; ++i) out[i] = -a[i];
+}
+
+static inline void ew_abs(const float* a, float* out, int64_t lo, int64_t hi) {
+  const __m512i mag = _mm512_set1_epi32(0x7FFFFFFF);
+  int64_t i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    _mm512_storeu_ps(out + i,
+                     _mm512_castsi512_ps(_mm512_and_epi32(
+                         _mm512_castps_si512(_mm512_loadu_ps(a + i)), mag)));
+  }
+  for (; i < hi; ++i) out[i] = std::fabs(a[i]);
+}
+
+static inline void ew_sqrt(const float* a, float* out, int64_t lo, int64_t hi) {
+  int64_t i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_sqrt_ps(_mm512_loadu_ps(a + i)));
+  }
+  for (; i < hi; ++i) out[i] = std::sqrt(a[i]);
+}
+
+static inline void ew_relu(const float* a, float* out, int64_t lo, int64_t hi) {
+  const __m512 zero = _mm512_setzero_ps();
+  int64_t i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_max_ps(_mm512_loadu_ps(a + i), zero));
+  }
+  for (; i < hi; ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+static inline void ew_scale(float* x, float s, int64_t lo, int64_t hi) {
+  const __m512 vs = _mm512_set1_ps(s);
+  int64_t i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_mul_ps(_mm512_loadu_ps(x + i), vs));
+  }
+  for (; i < hi; ++i) x[i] *= s;
+}
+
+static inline void ew_bias_relu(const float* x, const float* b, float* pre,
+                                float* out, int64_t lo, int64_t hi,
+                                int64_t nb) {
+  const __m512 zero = _mm512_setzero_ps();
+  int64_t i = lo;
+  while (i < hi) {
+    const int64_t boff = i % nb;
+    const int64_t seg = std::min(hi, i + (nb - boff));
+    int64_t j = i;
+    for (; j + 16 <= seg; j += 16) {
+      const __m512 p = _mm512_add_ps(_mm512_loadu_ps(x + j),
+                                     _mm512_loadu_ps(b + boff + (j - i)));
+      _mm512_storeu_ps(pre + j, p);
+      _mm512_storeu_ps(out + j, _mm512_max_ps(p, zero));
+    }
+    for (; j < seg; ++j) {
+      const float p = x[j] + b[boff + (j - i)];
+      pre[j] = p;
+      out[j] = p > 0.0f ? p : 0.0f;
+    }
+    i = seg;
+  }
+}
+
+// ---- row reductions ----
+
+// Lane-per-row layernorm statistics: 8 rows per block, one double lane per
+// row, columns gathered ascending. Each row's accumulation order is exactly
+// the scalar loop's (ascending c, double precision, mul-then-add for the
+// variance), so the statistics are bit-identical; div_pd/sqrt_pd and the
+// final cvtpd->ps are IEEE-exact single operations.
+static inline void rows_moments(const float* x, int64_t r0, int64_t r1,
+                                int64_t cols, float eps, float* mean,
+                                float* rstd) {
+  // Gather offsets are 32-bit lane indices; bail out (unreachably large
+  // rows) rather than overflow.
+  if (cols <= 0 || cols > (int64_t{1} << 27)) {
+    generic::rows_moments(x, r0, r1, cols, eps, mean, rstd);
+    return;
+  }
+  const int c32 = static_cast<int>(cols);
+  const __m256i vidx = _mm256_setr_epi32(0, c32, 2 * c32, 3 * c32, 4 * c32,
+                                         5 * c32, 6 * c32, 7 * c32);
+  const __m512d vcols = _mm512_set1_pd(static_cast<double>(cols));
+  const __m512d veps = _mm512_set1_pd(static_cast<double>(eps));
+  const __m512d vone = _mm512_set1_pd(1.0);
+  int64_t r = r0;
+  for (; r + 8 <= r1; r += 8) {
+    const float* base = x + r * cols;
+    __m512d s = _mm512_setzero_pd();
+    for (int64_t c = 0; c < cols; ++c) {
+      const __m256 g = _mm256_i32gather_ps(base + c, vidx, 4);
+      s = _mm512_add_pd(s, _mm512_cvtps_pd(g));
+    }
+    const __m512d m = _mm512_div_pd(s, vcols);
+    __m512d var = _mm512_setzero_pd();
+    for (int64_t c = 0; c < cols; ++c) {
+      const __m256 g = _mm256_i32gather_ps(base + c, vidx, 4);
+      const __m512d d = _mm512_sub_pd(_mm512_cvtps_pd(g), m);
+      var = _mm512_add_pd(var, _mm512_mul_pd(d, d));
+    }
+    var = _mm512_div_pd(var, vcols);
+    const __m512d rs =
+        _mm512_div_pd(vone, _mm512_sqrt_pd(_mm512_add_pd(var, veps)));
+    _mm256_storeu_ps(mean + r, _mm512_cvtpd_ps(m));
+    _mm256_storeu_ps(rstd + r, _mm512_cvtpd_ps(rs));
+  }
+  if (r < r1) generic::rows_moments(x, r, r1, cols, eps, mean, rstd);
+}
+
+static inline void ln_xhat(const float* x, const float* mean,
+                           const float* rstd, float* out, int64_t r0,
+                           int64_t r1, int64_t cols) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const __m512 vm = _mm512_set1_ps(mean[r]);
+    const __m512 vrs = _mm512_set1_ps(rstd[r]);
+    const float* row = x + r * cols;
+    float* orow = out + r * cols;
+    int64_t c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      _mm512_storeu_ps(
+          orow + c,
+          _mm512_mul_ps(_mm512_sub_ps(_mm512_loadu_ps(row + c), vm), vrs));
+    }
+    const float m = mean[r];
+    const float rs = rstd[r];
+    for (; c < cols; ++c) orow[c] = (row[c] - m) * rs;
+  }
+}
+
+// ---- fp16 (zmm-width F16C; same NaN screening as the avx2 tier) ----
+
+static inline void fp16_encode(const float* in, uint16_t* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(in + i);
+    if (_mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q) != 0) {
+      generic::fp16_encode(in + i, out + i, 16);
+      continue;
+    }
+    const __m256i h = _mm512_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  if (i < n) avx2i::fp16_encode(in + i, out + i, n - i);
+}
+
+static inline void fp16_decode(const uint16_t* in, float* out, int64_t n) {
+  const __m256i expmask = _mm256_set1_epi16(0x7FFF);
+  const __m256i inf16 = _mm256_set1_epi16(0x7C00);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i isnan =
+        _mm256_cmpgt_epi16(_mm256_and_si256(h, expmask), inf16);
+    if (_mm256_movemask_epi8(isnan) != 0) {
+      generic::fp16_decode(in + i, out + i, 16);
+      continue;
+    }
+    _mm512_storeu_ps(out + i, _mm512_cvtph_ps(h));
+  }
+  if (i < n) avx2i::fp16_decode(in + i, out + i, n - i);
+}
+
+static inline void fp16_round_trip(const float* in, float* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(in + i);
+    if (_mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q) != 0) {
+      generic::fp16_round_trip(in + i, out + i, 16);
+      continue;
+    }
+    const __m256i h = _mm512_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT);
+    _mm512_storeu_ps(out + i, _mm512_cvtph_ps(h));
+  }
+  if (i < n) avx2i::fp16_round_trip(in + i, out + i, n - i);
+}
+
+// ---- GEMM ----
+
+static inline void gemm_into(const float* a, const float* b, float* c,
+                             int64_t m, int64_t k, int64_t n) {
+  gemm_into_t<Avx512GemmPolicy>(a, b, c, m, k, n);
+}
+
+}  // namespace avx512i
+
+const KernelTable* avx512_kernels() {
+  static const KernelTable table = {
+      "avx512",
+      avx512i::gemm_into,
+      gemm_simple_impl,
+      avx512i::ew_add,
+      avx512i::ew_sub,
+      avx512i::ew_mul,
+      avx512i::ew_div,
+      avx512i::ew_add_scalar,
+      avx512i::ew_mul_scalar,
+      avx512i::ew_sub_scalar,
+      avx512i::ew_neg,
+      avx512i::ew_abs,
+      avx512i::ew_sqrt,
+      avx512i::ew_relu,
+      avx512i::ew_scale,
+      avx512i::ew_bias_relu,
+      // Fallback-heavy scans and 8-bit packing: the 256-bit versions are
+      // already bound by the semantic screening / byte shuffles.
+      avx2i::row_max,
+      avx2i::row_minmax,
+      avx512i::rows_moments,
+      avx512i::ln_xhat,
+      avx512i::fp16_encode,
+      avx512i::fp16_decode,
+      avx512i::fp16_round_trip,
+      avx2i::quant_quantize_row,
+      avx2i::quant_dequantize_row,
+  };
+  return &table;
+}
+
+}  // namespace actcomp::tensor::kernels
+
+#else  // toolchain/target cannot build this tier
+
+namespace actcomp::tensor::kernels {
+const KernelTable* avx512_kernels() { return nullptr; }
+}  // namespace actcomp::tensor::kernels
+
+#endif

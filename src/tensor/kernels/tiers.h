@@ -1,0 +1,17 @@
+// Internal: per-tier table accessors wired together by dispatch.cpp.
+#pragma once
+
+#include "tensor/kernels/kernel_table.h"
+
+namespace actcomp::tensor::kernels {
+
+/// Always available.
+const KernelTable& scalar_kernels();
+
+/// nullptr when the toolchain could not compile the tier (non-x86 targets
+/// or a compiler without -mavx2/-mavx512f); dispatch then aliases the
+/// widest available narrower tier.
+const KernelTable* avx2_kernels();
+const KernelTable* avx512_kernels();
+
+}  // namespace actcomp::tensor::kernels

@@ -9,6 +9,8 @@
 #include "core/threadpool.h"
 #include "obs/profiler.h"
 #include "tensor/check.h"
+#include "tensor/kernels/gemm_common.h"
+#include "tensor/kernels/kernel_table.h"
 
 namespace actcomp::tensor {
 
@@ -34,8 +36,15 @@ bool right_aligned(const Shape& big, const Shape& small) {
   return true;
 }
 
-template <typename F>
-Tensor binary_broadcast(const Tensor& a, const Tensor& b, F f, const char* name) {
+// Elementwise ops route through the active SIMD kernel tier
+// (tensor/kernels): the parallel_for chunking — and thus 1-vs-N-thread
+// identity — stays here in the caller, and the kernel handles [lo, hi).
+// Transcendentals (exp, log, tanh, ...) stay as scalar libm lambdas.
+
+Tensor binary_kernel(const Tensor& a, const Tensor& b,
+                     void (*kfn)(const float*, const float*, float*, int64_t,
+                                 int64_t, int64_t),
+                     const char* name) {
   ACTCOMP_CHECK(right_aligned(a.shape(), b.shape()),
                 name << ": shape " << b.shape().str()
                      << " does not right-align with " << a.shape().str());
@@ -43,22 +52,37 @@ Tensor binary_broadcast(const Tensor& a, const Tensor& b, F f, const char* name)
   const auto da = a.data();
   const auto db = b.data();
   auto dout = out.data();
-  const size_t nb = static_cast<size_t>(b.numel());
+  const int64_t nb = b.numel();
   const int64_t n = static_cast<int64_t>(da.size());
-  if (nb == da.size()) {
-    core::parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        dout[static_cast<size_t>(i)] = f(da[static_cast<size_t>(i)], db[static_cast<size_t>(i)]);
-      }
-    });
-  } else {
-    ACTCOMP_CHECK(nb > 0, name << ": empty broadcast operand");
-    core::parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        dout[static_cast<size_t>(i)] = f(da[static_cast<size_t>(i)], db[static_cast<size_t>(i) % nb]);
-      }
-    });
-  }
+  ACTCOMP_CHECK(nb > 0 || n == 0, name << ": empty broadcast operand");
+  core::parallel_for(0, n, kEwGrain, [&](int64_t lo, int64_t hi) {
+    kfn(da.data(), db.data(), dout.data(), lo, hi, nb);
+  });
+  return out;
+}
+
+Tensor unary_kernel(const Tensor& a,
+                    void (*kfn)(const float*, float*, int64_t, int64_t)) {
+  Tensor out(a.shape());
+  const auto da = a.data();
+  auto dout = out.data();
+  core::parallel_for(0, static_cast<int64_t>(da.size()), kEwGrain,
+                     [&](int64_t lo, int64_t hi) {
+                       kfn(da.data(), dout.data(), lo, hi);
+                     });
+  return out;
+}
+
+Tensor scalar_kernel(const Tensor& a, float s,
+                     void (*kfn)(const float*, float, float*, int64_t,
+                                 int64_t)) {
+  Tensor out(a.shape());
+  const auto da = a.data();
+  auto dout = out.data();
+  core::parallel_for(0, static_cast<int64_t>(da.size()), kEwGrain,
+                     [&](int64_t lo, int64_t hi) {
+                       kfn(da.data(), s, dout.data(), lo, hi);
+                     });
   return out;
 }
 
@@ -79,36 +103,42 @@ Tensor unary(const Tensor& a, F f) {
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary_broadcast(a, b, [](float x, float y) { return x + y; }, "add");
+  return binary_kernel(a, b, kernels::active_kernels().ew_add, "add");
 }
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binary_broadcast(a, b, [](float x, float y) { return x - y; }, "sub");
+  return binary_kernel(a, b, kernels::active_kernels().ew_sub, "sub");
 }
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binary_broadcast(a, b, [](float x, float y) { return x * y; }, "mul");
+  return binary_kernel(a, b, kernels::active_kernels().ew_mul, "mul");
 }
 Tensor div(const Tensor& a, const Tensor& b) {
-  return binary_broadcast(a, b, [](float x, float y) { return x / y; }, "div");
+  return binary_kernel(a, b, kernels::active_kernels().ew_div, "div");
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  return unary(a, [s](float x) { return x + s; });
+  return scalar_kernel(a, s, kernels::active_kernels().ew_add_scalar);
 }
 Tensor mul_scalar(const Tensor& a, float s) {
-  return unary(a, [s](float x) { return x * s; });
+  return scalar_kernel(a, s, kernels::active_kernels().ew_mul_scalar);
 }
 
-Tensor neg(const Tensor& a) { return unary(a, [](float x) { return -x; }); }
+Tensor neg(const Tensor& a) {
+  return unary_kernel(a, kernels::active_kernels().ew_neg);
+}
 Tensor exp(const Tensor& a) { return unary(a, [](float x) { return std::exp(x); }); }
 Tensor log(const Tensor& a) { return unary(a, [](float x) { return std::log(x); }); }
-Tensor sqrt(const Tensor& a) { return unary(a, [](float x) { return std::sqrt(x); }); }
-Tensor abs(const Tensor& a) { return unary(a, [](float x) { return std::fabs(x); }); }
+Tensor sqrt(const Tensor& a) {
+  return unary_kernel(a, kernels::active_kernels().ew_sqrt);
+}
+Tensor abs(const Tensor& a) {
+  return unary_kernel(a, kernels::active_kernels().ew_abs);
+}
 Tensor tanh(const Tensor& a) { return unary(a, [](float x) { return std::tanh(x); }); }
 Tensor sigmoid(const Tensor& a) {
   return unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 Tensor relu(const Tensor& a) {
-  return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return unary_kernel(a, kernels::active_kernels().ew_relu);
 }
 
 namespace {
@@ -143,216 +173,13 @@ Tensor map(const Tensor& a, const std::function<float(float)>& f) {
 }
 
 // ---------------------------------------------------------------------------
-// Blocked GEMM (DESIGN.md §10).
+// Blocked GEMM (DESIGN.md §10/§15).
 //
-// Layout: B is packed once per call into column panels of kNR columns,
-// k-major within the panel, so the micro-kernel streams it with unit
-// stride. The micro-kernel holds a kMR x kNR accumulator tile and walks k
-// in ascending order; k is additionally blocked by kKC so the hot panel
-// slice stays L1-resident, with the C tile reloaded between k-blocks.
-// Rows are parallelized via parallel_for.
-//
-// Determinism: every C element is owned by exactly one row chunk, and its
-// additions happen in ascending-k order no matter how rows are tiled or
-// which thread runs them — results are bit-identical for any thread count
-// (and match the old naive i-k-j kernel, which used the same order).
-namespace {
-
-constexpr int64_t kMR = 5;        // micro-tile rows
-constexpr int64_t kNR = 16;       // micro-tile cols = packed panel width
-constexpr int64_t kKC = 512;      // k-block: panel slice kKC*kNR*4 = 32 KiB
-constexpr int64_t kRowGrain = 32; // rows per parallel chunk
-// Below this many multiply-adds the packing + dispatch overhead outweighs
-// the cache wins; use the simple streaming kernel instead.
-constexpr int64_t kSimpleGemmFlops = 1 << 18;
-
-// The old i-k-j kernel minus its `av == 0` branch (see ISSUE 3): dense
-// inputs are the common case and the branch cost more than it saved.
-void gemm_simple(const float* a, const float* b, float* c, int64_t m,
-                 int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* c_row = c + i * n;
-    const float* a_row = a + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = a_row[kk];
-      const float* b_row = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
-}
-
-// Pack b (k x n row-major) into ceil(n/kNR) panels. Panel p holds columns
-// [p*kNR, p*kNR + kNR) for every k row, contiguous, zero-padded on the
-// right edge so the micro-kernel never branches on width.
-std::vector<float> pack_b_panels(const float* b, int64_t k, int64_t n) {
-  const int64_t npanels = (n + kNR - 1) / kNR;
-  std::vector<float> bp(static_cast<size_t>(npanels * k * kNR));
-  core::parallel_for(0, npanels, 1, [&](int64_t p0, int64_t p1) {
-    for (int64_t p = p0; p < p1; ++p) {
-      const int64_t j0 = p * kNR;
-      const int64_t w = std::min(kNR, n - j0);
-      float* dst = bp.data() + p * k * kNR;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float* src = b + kk * n + j0;
-        for (int64_t j = 0; j < w; ++j) dst[j] = src[j];
-        for (int64_t j = w; j < kNR; ++j) dst[j] = 0.0f;
-        dst += kNR;
-      }
-    }
-  });
-  return bp;
-}
-
-// C[mr x kNR] (+)= A[mr x kc] * panel[kc x kNR], full-width panels only.
-// MR and FIRST are compile-time so the accumulator tile is register
-// resident and the zero-init/reload choice (k-blocking) costs no branch in
-// the hot loop. The explicit vector type is load-bearing: with a plain
-// float[][] tile GCC's SLP vectorizer gives up on the accumulator and the
-// kernel runs ~7x slower than the streaming loop it is meant to replace.
-#if defined(__GNUC__) || defined(__clang__)
-typedef float v8f __attribute__((vector_size(32)));
-
-template <int MR, bool FIRST>
-void gemm_micro(const float* __restrict__ a, int64_t lda,
-                const float* __restrict__ panel, float* __restrict__ c,
-                int64_t ldc, int64_t kc) {
-  v8f acc[MR][2];
-  for (int r = 0; r < MR; ++r) {
-    if (FIRST) {
-      acc[r][0] = v8f{};
-      acc[r][1] = v8f{};
-    } else {
-      std::memcpy(&acc[r][0], c + r * ldc, sizeof(v8f));
-      std::memcpy(&acc[r][1], c + r * ldc + 8, sizeof(v8f));
-    }
-  }
-  for (int64_t kk = 0; kk < kc; ++kk) {
-    v8f b0, b1;
-    std::memcpy(&b0, panel + kk * kNR, sizeof(v8f));
-    std::memcpy(&b1, panel + kk * kNR + 8, sizeof(v8f));
-    for (int r = 0; r < MR; ++r) {
-      const float s = a[r * lda + kk];
-      const v8f av = {s, s, s, s, s, s, s, s};
-      acc[r][0] = acc[r][0] + av * b0;
-      acc[r][1] = acc[r][1] + av * b1;
-    }
-  }
-  for (int r = 0; r < MR; ++r) {
-    std::memcpy(c + r * ldc, &acc[r][0], sizeof(v8f));
-    std::memcpy(c + r * ldc + 8, &acc[r][1], sizeof(v8f));
-  }
-}
-#else
-template <int MR, bool FIRST>
-void gemm_micro(const float* a, int64_t lda, const float* panel, float* c,
-                int64_t ldc, int64_t kc) {
-  float acc[MR][kNR];
-  for (int r = 0; r < MR; ++r) {
-    for (int64_t j = 0; j < kNR; ++j) {
-      acc[r][j] = FIRST ? 0.0f : c[r * ldc + j];
-    }
-  }
-  for (int64_t kk = 0; kk < kc; ++kk) {
-    const float* bk = panel + kk * kNR;
-    for (int r = 0; r < MR; ++r) {
-      const float av = a[r * lda + kk];
-      for (int64_t j = 0; j < kNR; ++j) acc[r][j] += av * bk[j];
-    }
-  }
-  for (int r = 0; r < MR; ++r) {
-    for (int64_t j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
-  }
-}
-#endif
-
-// Right-edge variant for the final panel when n % kNR != 0: same k order,
-// but C loads/stores are guarded by the live width w so the kernel never
-// touches memory past the row end. Scalar is fine here — the edge covers
-// at most kNR-1 of n columns.
-template <int MR>
-void gemm_micro_edge(const float* a, int64_t lda, const float* panel,
-                     float* c, int64_t ldc, int64_t kc, int64_t w,
-                     bool first) {
-  float acc[MR][kNR];
-  for (int r = 0; r < MR; ++r) {
-    for (int64_t j = 0; j < kNR; ++j) {
-      acc[r][j] = (first || j >= w) ? 0.0f : c[r * ldc + j];
-    }
-  }
-  for (int64_t kk = 0; kk < kc; ++kk) {
-    const float* bk = panel + kk * kNR;
-    for (int r = 0; r < MR; ++r) {
-      const float av = a[r * lda + kk];
-      for (int64_t j = 0; j < kNR; ++j) acc[r][j] += av * bk[j];
-    }
-  }
-  for (int r = 0; r < MR; ++r) {
-    for (int64_t j = 0; j < w; ++j) c[r * ldc + j] = acc[r][j];
-  }
-}
-
-void gemm_micro_dispatch(int64_t mr, bool first, const float* a, int64_t lda,
-                         const float* panel, float* c, int64_t ldc,
-                         int64_t kc) {
-  switch (mr * 2 + (first ? 1 : 0)) {
-    case 11: gemm_micro<5, true>(a, lda, panel, c, ldc, kc); break;
-    case 10: gemm_micro<5, false>(a, lda, panel, c, ldc, kc); break;
-    case 9: gemm_micro<4, true>(a, lda, panel, c, ldc, kc); break;
-    case 8: gemm_micro<4, false>(a, lda, panel, c, ldc, kc); break;
-    case 7: gemm_micro<3, true>(a, lda, panel, c, ldc, kc); break;
-    case 6: gemm_micro<3, false>(a, lda, panel, c, ldc, kc); break;
-    case 5: gemm_micro<2, true>(a, lda, panel, c, ldc, kc); break;
-    case 4: gemm_micro<2, false>(a, lda, panel, c, ldc, kc); break;
-    case 3: gemm_micro<1, true>(a, lda, panel, c, ldc, kc); break;
-    default: gemm_micro<1, false>(a, lda, panel, c, ldc, kc); break;
-  }
-}
-
-void gemm_edge_dispatch(int64_t mr, const float* a, int64_t lda,
-                        const float* panel, float* c, int64_t ldc, int64_t kc,
-                        int64_t w, bool first) {
-  switch (mr) {
-    case 5: gemm_micro_edge<5>(a, lda, panel, c, ldc, kc, w, first); break;
-    case 4: gemm_micro_edge<4>(a, lda, panel, c, ldc, kc, w, first); break;
-    case 3: gemm_micro_edge<3>(a, lda, panel, c, ldc, kc, w, first); break;
-    case 2: gemm_micro_edge<2>(a, lda, panel, c, ldc, kc, w, first); break;
-    default: gemm_micro_edge<1>(a, lda, panel, c, ldc, kc, w, first); break;
-  }
-}
-
-// c (m x n, zero-initialized) += a (m x k) * b (k x n).
-void gemm_into(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n) {
-  if (m == 0 || n == 0 || k == 0) return;
-  if (m * n * k <= kSimpleGemmFlops) {
-    gemm_simple(a, b, c, m, k, n);
-    return;
-  }
-  const std::vector<float> bp = pack_b_panels(b, k, n);
-  const int64_t npanels = (n + kNR - 1) / kNR;
-  core::parallel_for(0, m, kRowGrain, [&](int64_t r0, int64_t r1) {
-    for (int64_t kc0 = 0; kc0 < k; kc0 += kKC) {
-      const int64_t kc = std::min(kKC, k - kc0);
-      for (int64_t p = 0; p < npanels; ++p) {
-        const float* panel = bp.data() + p * k * kNR + kc0 * kNR;
-        const int64_t j0 = p * kNR;
-        const int64_t w = std::min(kNR, n - j0);
-        for (int64_t i = r0; i < r1; i += kMR) {
-          const int64_t mr = std::min(kMR, r1 - i);
-          if (w == kNR) {
-            gemm_micro_dispatch(mr, kc0 == 0, a + i * k + kc0, k, panel,
-                                c + i * n + j0, n, kc);
-          } else {
-            gemm_edge_dispatch(mr, a + i * k + kc0, k, panel, c + i * n + j0,
-                               n, kc, w, kc0 == 0);
-          }
-        }
-      }
-    }
-  });
-}
-
-}  // namespace
+// The panel-packing driver and per-ISA micro-kernels live in
+// tensor/kernels (gemm_common.h + the per-tier TUs); matmul dispatches
+// through the active kernel table. Every tier walks k in ascending order
+// per C element with mul-then-add, so results are bit-identical across
+// tiers and thread counts (and match the pre-dispatch blocked kernel).
 
 Tensor matmul2d(const Tensor& a, const Tensor& b) {
   ACTCOMP_CHECK(a.rank() == 2 && b.rank() == 2,
@@ -363,7 +190,8 @@ Tensor matmul2d(const Tensor& a, const Tensor& b) {
                                                         << b.shape().str());
   ACTCOMP_PROFILE("tensor.matmul2d");
   Tensor out(Shape{m, n});
-  gemm_into(a.data().data(), b.data().data(), out.data().data(), m, k, n);
+  kernels::active_kernels().gemm_into(a.data().data(), b.data().data(),
+                                      out.data().data(), m, k, n);
   return out;
 }
 
@@ -387,19 +215,20 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     const float* pa = a.data().data();
     const float* pb = b.data().data();
     float* pc = out.data().data();
-    if (m * n * k <= kSimpleGemmFlops) {
+    const kernels::KernelTable& kt = kernels::active_kernels();
+    if (m * n * k <= kernels::kSimpleGemmFlops) {
       // Small per-batch matrices (attention heads): parallelize across the
       // batch instead of within one matrix.
       core::parallel_for(0, B, 1, [&](int64_t b0, int64_t b1) {
         for (int64_t batch = b0; batch < b1; ++batch) {
-          gemm_simple(pa + batch * m * k, pb + batch * k * n,
-                      pc + batch * m * n, m, k, n);
+          kt.gemm_simple(pa + batch * m * k, pb + batch * k * n,
+                         pc + batch * m * n, m, k, n);
         }
       });
     } else {
       for (int64_t batch = 0; batch < B; ++batch) {
-        gemm_into(pa + batch * m * k, pb + batch * k * n, pc + batch * m * n,
-                  m, k, n);
+        kt.gemm_into(pa + batch * m * k, pb + batch * k * n,
+                     pc + batch * m * n, m, k, n);
       }
     }
     return out;
@@ -463,9 +292,8 @@ float mean_all(const Tensor& a) {
 
 float max_all(const Tensor& a) {
   ACTCOMP_CHECK(a.numel() > 0, "max_all of empty tensor");
-  float m = -std::numeric_limits<float>::infinity();
-  for (float v : a.data()) m = std::max(m, v);
-  return m;
+  return kernels::active_kernels().row_max(a.data().data(),
+                                           static_cast<int64_t>(a.numel()));
 }
 
 namespace {
@@ -541,11 +369,11 @@ Tensor softmax_last(const Tensor& a) {
   Tensor out(a.shape());
   const auto din = a.data();
   auto dout = out.data();
+  const kernels::KernelTable& kt = kernels::active_kernels();
   core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const size_t base = static_cast<size_t>(r * cols);
-      float m = -std::numeric_limits<float>::infinity();
-      for (int64_t c = 0; c < cols; ++c) m = std::max(m, din[base + static_cast<size_t>(c)]);
+      const float m = kt.row_max(din.data() + base, cols);
       double z = 0.0;
       for (int64_t c = 0; c < cols; ++c) {
         const float e = std::exp(din[base + static_cast<size_t>(c)] - m);
@@ -553,7 +381,7 @@ Tensor softmax_last(const Tensor& a) {
         z += e;
       }
       const float inv = static_cast<float>(1.0 / z);
-      for (int64_t c = 0; c < cols; ++c) dout[base + static_cast<size_t>(c)] *= inv;
+      kt.ew_scale(dout.data(), inv, r * cols, (r + 1) * cols);
     }
   });
   return out;
@@ -564,17 +392,15 @@ Tensor log_softmax_last(const Tensor& a) {
   Tensor out(a.shape());
   const auto din = a.data();
   auto dout = out.data();
+  const kernels::KernelTable& kt = kernels::active_kernels();
   core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const size_t base = static_cast<size_t>(r * cols);
-      float m = -std::numeric_limits<float>::infinity();
-      for (int64_t c = 0; c < cols; ++c) m = std::max(m, din[base + static_cast<size_t>(c)]);
+      const float m = kt.row_max(din.data() + base, cols);
       double z = 0.0;
       for (int64_t c = 0; c < cols; ++c) z += std::exp(din[base + static_cast<size_t>(c)] - m);
       const float lz = m + static_cast<float>(std::log(z));
-      for (int64_t c = 0; c < cols; ++c) {
-        dout[base + static_cast<size_t>(c)] = din[base + static_cast<size_t>(c)] - lz;
-      }
+      kt.ew_sub_scalar(din.data(), lz, dout.data(), r * cols, (r + 1) * cols);
     }
   });
   return out;
@@ -587,21 +413,9 @@ RowMoments row_moments(const Tensor& a, float eps) {
   const auto din = a.data();
   auto dmean = mo.mean.data();
   auto drstd = mo.rstd.data();
+  const kernels::KernelTable& kt = kernels::active_kernels();
   core::parallel_for(0, rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const size_t base = static_cast<size_t>(r * cols);
-      double s = 0.0;
-      for (int64_t c = 0; c < cols; ++c) s += din[base + static_cast<size_t>(c)];
-      const double mean = s / static_cast<double>(cols);
-      double var = 0.0;
-      for (int64_t c = 0; c < cols; ++c) {
-        const double d = din[base + static_cast<size_t>(c)] - mean;
-        var += d * d;
-      }
-      var /= static_cast<double>(cols);
-      dmean[static_cast<size_t>(r)] = static_cast<float>(mean);
-      drstd[static_cast<size_t>(r)] = static_cast<float>(1.0 / std::sqrt(var + eps));
-    }
+    kt.rows_moments(din.data(), r0, r1, cols, eps, dmean.data(), drstd.data());
   });
   return mo;
 }

@@ -4,14 +4,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
 
+#include "autograd/functions.h"
+#include "compress/quantize.h"
 #include "compress/topk.h"
+#include "core/simd.h"
 #include "core/threadpool.h"
+#include "tensor/fp16.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
 
@@ -37,6 +43,27 @@ std::vector<uint8_t> tensor_bytes(const ts::Tensor& t) {
   std::vector<uint8_t> out(d.size() * sizeof(float));
   if (!out.empty()) std::memcpy(out.data(), d.data(), out.size());
   return out;
+}
+
+// Forces a SIMD tier for one scope; set_simd_isa clamps to what the host
+// supports, so the guard is safe to construct with any tier.
+class IsaGuard {
+ public:
+  explicit IsaGuard(core::SimdIsa isa) : saved_(core::simd_isa()) {
+    core::set_simd_isa(isa);
+  }
+  ~IsaGuard() { core::set_simd_isa(saved_); }
+
+ private:
+  core::SimdIsa saved_;
+};
+
+// Runs fn(isa) for every tier this host can execute, scalar first.
+template <typename Fn>
+void for_each_supported_isa(Fn&& fn) {
+  for (int t = 0; t <= static_cast<int>(core::detected_simd_isa()); ++t) {
+    fn(static_cast<core::SimdIsa>(t));
+  }
 }
 
 }  // namespace
@@ -168,4 +195,209 @@ TEST(Determinism, NumThreadsReflectsResize) {
   EXPECT_EQ(core::num_threads(), 3);
   core::set_num_threads(1);
   EXPECT_EQ(core::num_threads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-ISA bit-identity (DESIGN.md §15): for every SIMD tier this host can
+// run, forcing the tier via core::set_simd_isa must reproduce the scalar
+// tier's bytes exactly — kernel results, compressor wire messages, and
+// layernorm statistics — at 1 and 4 pool threads. This is the contract that
+// lets golden tables and checkpoints move between machines.
+
+TEST(SimdDispatch, ActiveTierNeverExceedsDetected) {
+  EXPECT_LE(static_cast<int>(core::simd_isa()),
+            static_cast<int>(core::detected_simd_isa()));
+  // Forcing a wider tier than the host supports clamps instead of SIGILLing.
+  IsaGuard guard(core::SimdIsa::kAvx512);
+  EXPECT_LE(static_cast<int>(core::simd_isa()),
+            static_cast<int>(core::detected_simd_isa()));
+}
+
+TEST(SimdDispatch, TierNamesAreStable) {
+  EXPECT_STREQ(core::simd_isa_name(core::SimdIsa::kScalar), "scalar");
+  EXPECT_STREQ(core::simd_isa_name(core::SimdIsa::kAvx2), "avx2");
+  EXPECT_STREQ(core::simd_isa_name(core::SimdIsa::kAvx512), "avx512");
+}
+
+TEST(SimdIdentity, MatmulBytesMatchScalarAcrossTiers) {
+  ThreadGuard tguard;
+  ts::Generator gen(41);
+  // 80^3 takes the packed path (above the gemm_simple flops threshold),
+  // 96x64x50 exercises ragged edge tiles, 8x8x8 the streaming kernel.
+  const std::vector<std::array<int64_t, 3>> shapes = {
+      {80, 80, 80}, {96, 64, 50}, {8, 8, 8}};
+  for (const auto& s : shapes) {
+    const ts::Tensor a = gen.normal(ts::Shape{s[0], s[1]});
+    const ts::Tensor b = gen.normal(ts::Shape{s[1], s[2]});
+    IsaGuard scalar_guard(core::SimdIsa::kScalar);
+    core::set_num_threads(1);
+    const auto ref = tensor_bytes(ts::matmul2d(a, b));
+    for_each_supported_isa([&](core::SimdIsa isa) {
+      IsaGuard guard(isa);
+      for (int threads : {1, 4}) {
+        core::set_num_threads(threads);
+        EXPECT_EQ(tensor_bytes(ts::matmul2d(a, b)), ref)
+            << core::simd_isa_name(isa) << " t=" << threads << " "
+            << s[0] << "x" << s[1] << "x" << s[2];
+      }
+    });
+    core::set_num_threads(1);
+  }
+}
+
+TEST(SimdIdentity, TopKWireBytesMatchScalarAcrossTiers) {
+  ThreadGuard tguard;
+  ts::Generator gen(42);
+  const ts::Tensor x = gen.normal(ts::Shape{37, 1111});
+  cp::TopKCompressor c(0.07);
+  IsaGuard scalar_guard(core::SimdIsa::kScalar);
+  core::set_num_threads(1);
+  const auto ref = c.encode(x);
+  const auto ref_dec = tensor_bytes(c.decode(ref));
+  for_each_supported_isa([&](core::SimdIsa isa) {
+    IsaGuard guard(isa);
+    for (int threads : {1, 4}) {
+      core::set_num_threads(threads);
+      const auto msg = c.encode(x);
+      EXPECT_EQ(msg.body, ref.body)
+          << core::simd_isa_name(isa) << " t=" << threads;
+      EXPECT_EQ(tensor_bytes(c.decode(msg)), ref_dec)
+          << core::simd_isa_name(isa) << " t=" << threads;
+    }
+  });
+}
+
+TEST(SimdIdentity, QuantizeWireBytesMatchScalarAcrossTiers) {
+  ThreadGuard tguard;
+  ts::Generator gen(43);
+  ts::Tensor x = gen.normal(ts::Shape{19, 515});
+  {
+    // Seed the min/max ties the SIMD row_minmax must resolve like the
+    // serial first-wins scan: signed zeros and duplicated extremes.
+    auto d = x.data();
+    d[0] = -0.0f;
+    d[1] = 0.0f;
+    d[515] = d[516];
+    d[2 * 515 + 3] = d[2 * 515 + 4] = -3.5f;
+  }
+  for (int bits : {3, 4, 8}) {
+    cp::QuantizeCompressor c(bits);
+    IsaGuard scalar_guard(core::SimdIsa::kScalar);
+    core::set_num_threads(1);
+    const auto ref = c.encode(x);
+    const auto ref_rt = tensor_bytes(c.round_trip(x));
+    for_each_supported_isa([&](core::SimdIsa isa) {
+      IsaGuard guard(isa);
+      for (int threads : {1, 4}) {
+        core::set_num_threads(threads);
+        EXPECT_EQ(c.encode(x).body, ref.body)
+            << bits << "b " << core::simd_isa_name(isa) << " t=" << threads;
+        EXPECT_EQ(tensor_bytes(c.round_trip(x)), ref_rt)
+            << bits << "b " << core::simd_isa_name(isa) << " t=" << threads;
+      }
+    });
+    core::set_num_threads(1);
+  }
+}
+
+TEST(SimdIdentity, LayernormBytesMatchScalarAcrossTiers) {
+  ThreadGuard tguard;
+  ts::Generator gen(44);
+  const ts::Tensor x = gen.normal(ts::Shape{33, 127});
+  IsaGuard scalar_guard(core::SimdIsa::kScalar);
+  core::set_num_threads(1);
+  const auto ref = ts::row_moments(x, 1e-5f);
+  const auto ref_mean = tensor_bytes(ref.mean);
+  const auto ref_rstd = tensor_bytes(ref.rstd);
+  for_each_supported_isa([&](core::SimdIsa isa) {
+    IsaGuard guard(isa);
+    for (int threads : {1, 4}) {
+      core::set_num_threads(threads);
+      const auto mo = ts::row_moments(x, 1e-5f);
+      EXPECT_EQ(tensor_bytes(mo.mean), ref_mean)
+          << core::simd_isa_name(isa) << " t=" << threads;
+      EXPECT_EQ(tensor_bytes(mo.rstd), ref_rstd)
+          << core::simd_isa_name(isa) << " t=" << threads;
+    }
+  });
+}
+
+TEST(SimdIdentity, Fp16EdgeCasesMatchSoftwareConverter) {
+  ThreadGuard tguard;
+  // Exact-boundary, subnormal, halfway (round-to-nearest-even), overflow,
+  // infinity, and NaN inputs, padded with a ragged tail so every SIMD width
+  // exercises its remainder path.
+  std::vector<float> vals = {
+      0.0f, -0.0f, 1.0f, -1.0f, 65504.0f, -65504.0f,   // max finite fp16
+      65520.0f, 65536.0f, 1e30f,                        // overflow -> inf
+      -1e30f, 5.960464478e-8f, 2.980232239e-8f,         // subnormal/halfway
+      1.00048828125f, 1.0009765625f, 1.00146484375f,    // RNE halfway cases
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      -std::numeric_limits<float>::quiet_NaN(),
+  };
+  ts::Generator gen(45);
+  const ts::Tensor noise = gen.normal(ts::Shape{61});
+  for (float v : noise.data()) vals.push_back(v * 100.0f);
+
+  std::vector<float> ref(vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    ref[i] = ts::fp16_bits_to_fp32(ts::fp32_to_fp16_bits(vals[i]));
+  }
+  for_each_supported_isa([&](core::SimdIsa isa) {
+    IsaGuard guard(isa);
+    ts::Tensor t{ts::Shape{static_cast<int64_t>(vals.size())}, vals};
+    const ts::Tensor rt = ts::fp16_round(t);
+    const auto d = rt.data();
+    for (size_t i = 0; i < vals.size(); ++i) {
+      uint32_t got, want;
+      std::memcpy(&got, &d[i], 4);
+      std::memcpy(&want, &ref[i], 4);
+      EXPECT_EQ(got, want) << core::simd_isa_name(isa) << " vals[" << i
+                           << "]=" << vals[i];
+    }
+  });
+}
+
+TEST(SimdIdentity, BiasActMatchesComposition) {
+  ThreadGuard tguard;
+  namespace ag = actcomp::autograd;
+  ts::Generator gen(46);
+  const ts::Tensor xv = gen.normal(ts::Shape{5, 37});
+  ts::Tensor bv = gen.normal(ts::Shape{37});
+  bv.data()[3] = 0.0f;  // make some pre-activations land exactly on 0
+
+  const auto run = [&](bool fused, ag::Act act) {
+    ag::Variable x = ag::Variable::leaf(xv, true);
+    ag::Variable b = ag::Variable::leaf(bv, true);
+    ag::Variable y;
+    if (fused) {
+      y = ag::bias_act(x, b, act);
+    } else {
+      ag::Variable pre = ag::add(x, b);
+      y = act == ag::Act::kGelu ? ag::gelu(pre)
+          : act == ag::Act::kRelu ? ag::relu(pre)
+                                  : pre;
+    }
+    ag::Variable loss = ag::mse_loss(y, ts::Tensor{y.value().shape()});
+    loss.backward();
+    return std::array<std::vector<uint8_t>, 3>{
+        tensor_bytes(y.value()), tensor_bytes(x.grad()), tensor_bytes(b.grad())};
+  };
+
+  for (ag::Act act : {ag::Act::kNone, ag::Act::kRelu, ag::Act::kGelu}) {
+    const auto ref = run(false, act);
+    for_each_supported_isa([&](core::SimdIsa isa) {
+      IsaGuard guard(isa);
+      for (int threads : {1, 4}) {
+        core::set_num_threads(threads);
+        const auto got = run(true, act);
+        EXPECT_EQ(got[0], ref[0]) << core::simd_isa_name(isa) << " t=" << threads;
+        EXPECT_EQ(got[1], ref[1]) << core::simd_isa_name(isa) << " t=" << threads;
+        EXPECT_EQ(got[2], ref[2]) << core::simd_isa_name(isa) << " t=" << threads;
+      }
+    });
+    core::set_num_threads(1);
+  }
 }
