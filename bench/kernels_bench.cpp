@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "autograd/functions.h"
+#include "compress/lossless.h"
 #include "compress/quantize.h"
 #include "compress/topk.h"
+#include "compress/wire.h"
 #include "core/simd.h"
 #include "core/threadpool.h"
 #include "nn/bert.h"
@@ -183,6 +185,45 @@ void bench_compressor(const char* label, C& c, const ts::Tensor& x) {
   core::set_num_threads(1);
 }
 
+// One encode + one decode record per standard lossless codec tier
+// (compress/lossless.h), on the fp16 wire bytes of a seeded activation
+// tensor — the byte distribution the codec actually sees on a link. GB/s is
+// quoted against the RAW payload (what the link would otherwise carry);
+// each record also stores the measured compression ratio. Runs in both
+// --quick and full mode so the CI perf gate and the committed baseline
+// share record keys. Scalar codecs: threads = 1 only.
+void bench_lossless(const ts::Tensor& x) {
+  std::vector<std::byte> raw;
+  raw.reserve(static_cast<size_t>(x.numel()) * 2);
+  cp::wire::append_fp16(raw, x);
+  const double raw_bytes = static_cast<double>(raw.size());
+  char shape[32];
+  std::snprintf(shape, sizeof(shape), "%lld", static_cast<long long>(x.numel()));
+  core::set_num_threads(1);
+  for (const cp::LosslessCodec& codec : cp::standard_lossless_codecs()) {
+    const std::vector<std::byte> enc = codec.encode(raw);
+    const double ratio = static_cast<double>(enc.size()) / raw_bytes;
+    const double te = best_of(3, [&] { codec.encode(raw); });
+    const double td = best_of(3, [&] { codec.decode(enc); });
+    const std::string label = "lossless(" + codec.name() + ")";
+    for (const char* dir : {"_encode", "_decode"}) {
+      const double t = dir[1] == 'e' ? te : td;
+      obs::json::Value r = obs::json::Value::object();
+      r.set("op", label + dir);
+      r.set("shape", std::string(shape));
+      r.set("threads", 1);
+      r.set("ns_op", t * 1e9);
+      r.set("gb_s", raw_bytes / t / 1e9);
+      r.set("ratio", ratio);
+      obs::RunReport::current()->add_record(std::move(r));
+      ++g_emitted;
+    }
+    std::printf("%-28s %-10s t=1  enc %6.2f GB/s  dec %6.2f GB/s  ratio %.3f\n",
+                label.c_str(), shape, raw_bytes / te / 1e9, raw_bytes / td / 1e9,
+                ratio);
+  }
+}
+
 void bench_finetune_step() {
   nn::BertConfig cfg;
   cfg.vocab_size = 1024;
@@ -271,6 +312,8 @@ int main(int argc, char** argv) {
     bench_compressor("topk(0.1)", topk, xq);
     cp::QuantizeCompressor quant(4);
     bench_compressor("quant(4b)", quant, xq);
+    std::printf("\n");
+    bench_lossless(xq);
     if (!quick) {
       const ts::Tensor x = gen.normal(ts::Shape{256, 16384});
       bench_compressor("topk(0.1)", topk, x);

@@ -39,11 +39,14 @@ sanitize() {
   # under the sanitizers: these suites drive the engine, the fault RNG, and
   # the checkpoint byte-plumbing hardest, and a silent skip here (e.g. a
   # test-name prefix regression hiding them from the -R filter) must fail
-  # loudly, so require a non-empty selection.
+  # loudly, so require a non-empty selection. The compress/, wire and
+  # Lossless suites join for the lossless codec layer: hand-rolled byte
+  # coders (RLE runs, Huffman bit accumulators, plane gathers) are exactly
+  # where ASan/UBSan catch off-by-one overruns and shift UB.
   ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     ctest --test-dir build-asan \
-      -R 'golden|property|engine|topology|checkpoint|recovery|kv_cache|serving|Simd' \
+      -R 'golden|property|engine|topology|checkpoint|recovery|kv_cache|serving|Simd|compress/|wire|Lossless' \
       --no-tests=error --output-on-failure -j "$jobs"
   # The same slice once more with the kernel dispatch pinned to the scalar
   # tier: the SIMD tiers must be a pure throughput change (DESIGN.md §15),
@@ -53,7 +56,7 @@ sanitize() {
   ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     ctest --test-dir build-asan \
-      -R 'golden|property|engine|topology|checkpoint|recovery|kv_cache|serving|Simd' \
+      -R 'golden|property|engine|topology|checkpoint|recovery|kv_cache|serving|Simd|compress/|wire|Lossless' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 
@@ -65,7 +68,7 @@ tsan() {
   cmake --build build-tsan -j "$jobs" \
     --target core_test tensor_test compress_test obs_test \
              checkpoint_test recovery_test topology_test \
-             kv_cache_test serving_test
+             kv_cache_test serving_test property_test
   # Everything that calls parallel_for runs under TSan: the runtime itself
   # (core/), the tensor kernels (tensor/), the compressor kernels
   # (compress/), and the profiler/registry (obs/), whose zone buffers and
@@ -76,11 +79,14 @@ tsan() {
   # sanitizers should sweep. kv_cache/ runs its differential decode harness
   # at 1 and 4 pool threads (bit-identity across thread counts is exactly a
   # TSan question), and serving/ joins as the newest engine-driven surface.
+  # The lossless wire suites join through compress/ (codec unit tests) and
+  # the property/Lossless|Stacked slices: the stacked compressor drives the
+  # Top-K/quantize inner codecs' parallel_for gathers under TSan.
   # --no-tests=error guards against a prefix regression silently
   # deselecting the slice.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan \
-      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/|topology/|kv_cache/|serving/' \
+      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/|topology/|kv_cache/|serving/|property/Lossless|property/Stacked' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 

@@ -119,6 +119,18 @@ ModelParallelSimulator::ModelParallelSimulator(sim::ClusterSpec cluster,
     ACTCOMP_CHECK(v == 1,
                   "virtual_stages > 1 requires ScheduleKind::kInterleaved1F1B");
   }
+  if (options_.lossless_wire.enabled) {
+    ACTCOMP_CHECK(v == 1,
+                  "lossless_wire models one message per boundary crossing and "
+                  "is only supported with virtual_stages == 1");
+    ACTCOMP_CHECK(options_.lossless_wire.ratio > 0.0 &&
+                      options_.lossless_wire.ratio <= 1.0,
+                  "lossless_wire.ratio must be in (0, 1], got "
+                      << options_.lossless_wire.ratio);
+    ACTCOMP_CHECK(options_.lossless_wire.chunks >= 1,
+                  "lossless_wire.chunks must be >= 1, got "
+                      << options_.lossless_wire.chunks);
+  }
   overhead_.gpu = cluster_.gpu;
 }
 
@@ -200,8 +212,29 @@ IterationBreakdown ModelParallelSimulator::run(
   const sim::LinkSpec& tpl = tp_link();
   const cp::Setting setting = plan.setting;
 
+  // Lossless wire stage (ZipCCL-style link shim, DESIGN.md §16): the
+  // collective keeps its algorithm, its payload shrinks by the measured
+  // ratio, and each endpoint pays one encode + one decode at the measured
+  // GB/s — chunk-pipelined against the transfer. The codec time is INSIDE
+  // the returned span (it serializes into comm / p2p durations); the
+  // stage_ll_* accumulators only report it. Disabled takes none of these
+  // branches, so the pre-existing arithmetic is reproduced bit for bit.
+  const sm::LosslessWireSpec& lw = options_.lossless_wire;
+  std::vector<double> stage_ll_enc(static_cast<size_t>(pp), 0.0);
+  std::vector<double> stage_ll_dec(static_cast<size_t>(pp), 0.0);
+  auto ll_bytes = [&](int64_t raw) { return sm::lossless_wire_bytes(raw, lw); };
+  auto ll_collective = [&](double coll_ms, int64_t raw_bytes, double* e_acc,
+                           double* d_acc) {
+    const double e = sm::codec_ms(raw_bytes, lw.encode_gb_s);
+    const double d = sm::codec_ms(raw_bytes, lw.decode_gb_s);
+    *e_acc += e;
+    *d_acc += d;
+    return sm::chunk_pipelined_ms(e, coll_ms, d, lw.chunks);
+  };
+
   for (int stage = 0; stage < pp; ++stage) {
     double fwd = 0.0, bwd = 0.0, enc = 0.0, dec = 0.0, comm = 0.0;
+    double ll_e = 0.0, ll_d = 0.0;
     for (int64_t l = stage * layers_per_stage; l < (stage + 1) * layers_per_stage;
          ++l) {
       fwd += cluster_.gpu.compute_ms(layer_fwd_flops / tp);
@@ -213,22 +246,50 @@ IterationBreakdown ModelParallelSimulator::run(
         const bool comp = plan.compresses(l);
         for (int point = 0; point < 2; ++point) {
           if (!comp) {
-            comm += sm::allreduce_ms(msg_numel * 2, tp, tpl);
+            if (!lw.enabled) {
+              comm += sm::allreduce_ms(msg_numel * 2, tp, tpl);
+            } else {
+              comm += ll_collective(
+                  sm::allreduce_ms(ll_bytes(msg_numel * 2), tp, tpl),
+                  msg_numel * 2, &ll_e, &ll_d);
+            }
           } else if (is_ae(setting)) {
             fwd += overhead_.dispatch_ms;  // outside the enc/dec timers
             enc += overhead_.encode_ms(setting, msg_numel, h);
-            comm += sm::allreduce_ms(wire_bytes(setting, msg_numel, h), tp, tpl);
+            const int64_t w = wire_bytes(setting, msg_numel, h);
+            if (!lw.enabled) {
+              comm += sm::allreduce_ms(w, tp, tpl);
+            } else {
+              comm += ll_collective(sm::allreduce_ms(ll_bytes(w), tp, tpl), w,
+                                    &ll_e, &ll_d);
+            }
             dec += overhead_.decode_ms(setting, msg_numel, h);
           } else {
             // Multi-tensor wire formats cannot ride all-reduce (§3.2):
             // all-gather, then every rank decodes all tp messages.
             fwd += overhead_.dispatch_ms;
             enc += overhead_.encode_ms(setting, msg_numel, h);
-            comm += sm::allgather_ms(wire_bytes(setting, msg_numel, h), tp, tpl);
+            const int64_t w = wire_bytes(setting, msg_numel, h);
+            if (!lw.enabled) {
+              comm += sm::allgather_ms(w, tp, tpl);
+            } else {
+              comm += ll_collective(sm::allgather_ms(ll_bytes(w), tp, tpl), w,
+                                    &ll_e, &ll_d);
+            }
             dec += overhead_.decode_ms(setting, msg_numel, h, tp);
           }
         }
-        comm += 2.0 * sm::allreduce_ms(msg_numel * 2, tp, tpl);  // backward
+        if (!lw.enabled) {
+          comm += 2.0 * sm::allreduce_ms(msg_numel * 2, tp, tpl);  // backward
+        } else {
+          // Two identical backward all-reduces. Summing the pair before the
+          // += keeps the neutral spec (ratio 1, free codecs, chunks 1)
+          // bit-identical to the `2.0 *` form above: a + a == 2.0 * a in
+          // IEEE, whereas (comm += a) twice rounds differently.
+          const double ar = sm::allreduce_ms(ll_bytes(msg_numel * 2), tp, tpl);
+          comm += ll_collective(ar, msg_numel * 2, &ll_e, &ll_d) +
+                  ll_collective(ar, msg_numel * 2, &ll_e, &ll_d);
+        }
         if (comp) bwd += 2.0 * overhead_.backward_extra_ms(setting, msg_numel, h);
       }
     }
@@ -239,6 +300,8 @@ IterationBreakdown ModelParallelSimulator::run(
     stage_enc[static_cast<size_t>(stage)] = enc;
     stage_dec[static_cast<size_t>(stage)] = dec;
     stage_tp_comm[static_cast<size_t>(stage)] = comm;
+    stage_ll_enc[static_cast<size_t>(stage)] += ll_e;
+    stage_ll_dec[static_cast<size_t>(stage)] += ll_d;
   }
 
   // Pipeline boundaries. The activation leaving stage `st` feeds the first
@@ -277,10 +340,29 @@ IterationBreakdown ModelParallelSimulator::run(
           comp ? wire_bytes(setting, msg_numel, h) : msg_numel * 2;
       const int64_t bwd_bytes =
           comp ? backward_wire_bytes(setting, msg_numel, h) : msg_numel * 2;
-      costs.p2p_fwd_ms[static_cast<size_t>(bd)] = p2p_cost(fwd_bytes, bd);
-      costs.p2p_bwd_ms[static_cast<size_t>(bd)] = p2p_cost(bwd_bytes, bd);
-      link_fwd_bytes[static_cast<size_t>(bd)] = fwd_bytes;
-      link_bwd_bytes[static_cast<size_t>(bd)] = bwd_bytes;
+      if (!lw.enabled) {
+        costs.p2p_fwd_ms[static_cast<size_t>(bd)] = p2p_cost(fwd_bytes, bd);
+        costs.p2p_bwd_ms[static_cast<size_t>(bd)] = p2p_cost(bwd_bytes, bd);
+      } else {
+        // Sender encodes, link carries the coded bytes, receiver decodes;
+        // chunks overlap the three. The whole span rides in the boundary's
+        // p2p duration (the engine's transfer op), like the lossy path's
+        // closed-form p2p cost.
+        const double fe = sm::codec_ms(fwd_bytes, lw.encode_gb_s);
+        const double fd = sm::codec_ms(fwd_bytes, lw.decode_gb_s);
+        const double be = sm::codec_ms(bwd_bytes, lw.encode_gb_s);
+        const double bdd = sm::codec_ms(bwd_bytes, lw.decode_gb_s);
+        costs.p2p_fwd_ms[static_cast<size_t>(bd)] = sm::chunk_pipelined_ms(
+            fe, p2p_cost(ll_bytes(fwd_bytes), bd), fd, lw.chunks);
+        costs.p2p_bwd_ms[static_cast<size_t>(bd)] = sm::chunk_pipelined_ms(
+            be, p2p_cost(ll_bytes(bwd_bytes), bd), bdd, lw.chunks);
+        stage_ll_enc[static_cast<size_t>(bd)] += fe;
+        stage_ll_dec[static_cast<size_t>(bd + 1)] += fd;
+        stage_ll_enc[static_cast<size_t>(bd + 1)] += be;
+        stage_ll_dec[static_cast<size_t>(bd)] += bdd;
+      }
+      link_fwd_bytes[static_cast<size_t>(bd)] = ll_bytes(fwd_bytes);
+      link_bwd_bytes[static_cast<size_t>(bd)] = ll_bytes(bwd_bytes);
 
       if (comp) {
         // Sender encodes at the end of its forward; receiver decodes at the
@@ -423,6 +505,8 @@ IterationBreakdown ModelParallelSimulator::run(
   out.enc_ms = m * stage_enc[static_cast<size_t>(pp - 1)];
   out.dec_ms = m * stage_dec[static_cast<size_t>(pp - 1)];
   out.tensor_comm_ms = m * stage_tp_comm[static_cast<size_t>(pp - 1)];
+  out.lossless_enc_ms = m * stage_ll_enc[static_cast<size_t>(pp - 1)];
+  out.lossless_dec_ms = m * stage_ll_dec[static_cast<size_t>(pp - 1)];
   for (int bd = 0; bd + 1 < pp; ++bd) {
     out.boundary_fwd_ms.push_back(m * costs.p2p_fwd_ms[static_cast<size_t>(bd)]);
     out.boundary_bwd_ms.push_back(m * costs.p2p_bwd_ms[static_cast<size_t>(bd)]);

@@ -18,6 +18,7 @@
 #include "core/compression_plan.h"
 #include "nn/bert.h"
 #include "obs/accounting.h"
+#include "sim/collectives.h"
 #include "sim/hardware.h"
 #include "sim/overhead.h"
 #include "sim/pipeline.h"
@@ -60,6 +61,18 @@ struct SimOptions {
   /// Overlap gradient all-reduces with the backward drain (bucketed DDP);
   /// false appends them as a synchronous phase. Only read when dp > 1.
   bool dp_overlap_grads = true;
+
+  /// Lossless wire stage on the model-parallel links (DESIGN.md §16,
+  /// compress/lossless.h): every TP collective payload and pipeline-boundary
+  /// message shrinks by the measured codec ratio, and each endpoint pays
+  /// encode/decode at the measured GB/s — chunk-pipelined against the
+  /// transfer when chunks > 1 (sim::chunk_pipelined_ms). Composes with the
+  /// lossy wire formats: a lossy plan plus an enabled spec prices the
+  /// stacked (lossless-over-lossy) column. Scope: the training run() only,
+  /// virtual_stages == 1 (the constructor enforces this), and NOT the DP
+  /// gradient all-reduce (dp_grad_setting already owns gradient payloads).
+  /// Disabled (default) is bit-identical to the pre-existing cost model.
+  sim::LosslessWireSpec lossless_wire;
 
   SimOptions() = default;
   SimOptions(sim::ScheduleKind s, int v, bool ov, bool contention,
@@ -145,6 +158,14 @@ struct IterationBreakdown {
   /// iteration (encode/decode included when dp_grad_setting compresses).
   int dp_replicas = 1;
   double dp_comm_ms = 0.0;
+
+  /// Busiest stage's per-iteration lossless codec time (zero unless
+  /// SimOptions::lossless_wire is enabled). Reported separately from
+  /// enc_ms/dec_ms and NOT added to any phase column: the codec runs inside
+  /// the chunk-pipelined transfer spans, so its serialized share is already
+  /// inside tensor_comm_ms and the boundary p2p durations.
+  double lossless_enc_ms = 0.0;
+  double lossless_dec_ms = 0.0;
 
   double total_ms() const { return makespan_ms + optimizer_ms; }
   /// "Waiting & Pipeline Comm." under the fine-tune accounting.

@@ -1,5 +1,8 @@
 #include "sim/collectives.h"
 
+#include <vector>
+
+#include "sim/engine.h"
 #include "tensor/check.h"
 
 namespace actcomp::sim {
@@ -62,6 +65,55 @@ double p2p_ms(int64_t bytes, const LinkSpec& link) {
   ACTCOMP_CHECK(bytes >= 0, "negative p2p bytes");
   if (bytes == 0) return 0.0;
   return link.transfer_ms(bytes);
+}
+
+double codec_ms(int64_t bytes, double gb_s) {
+  ACTCOMP_CHECK(bytes >= 0, "negative codec bytes");
+  ACTCOMP_CHECK(gb_s >= 0.0, "negative codec throughput");
+  if (bytes == 0 || gb_s == 0.0) return 0.0;
+  return static_cast<double>(bytes) / (gb_s * 1e9) * 1e3;
+}
+
+int64_t lossless_wire_bytes(int64_t raw_bytes, const LosslessWireSpec& spec) {
+  ACTCOMP_CHECK(raw_bytes >= 0, "negative payload bytes");
+  if (!spec.enabled) return raw_bytes;
+  ACTCOMP_CHECK(spec.ratio > 0.0 && spec.ratio <= 1.0,
+                "lossless ratio must be in (0, 1], got " << spec.ratio);
+  const double coded = static_cast<double>(raw_bytes) * spec.ratio;
+  return static_cast<int64_t>(coded) == coded
+             ? static_cast<int64_t>(coded)
+             : static_cast<int64_t>(coded) + 1;
+}
+
+double chunk_pipelined_ms(double encode_ms, double transfer_ms,
+                          double decode_ms, int chunks) {
+  ACTCOMP_CHECK(chunks >= 1, "need >= 1 chunk, got " << chunks);
+  ACTCOMP_CHECK(encode_ms >= 0.0 && transfer_ms >= 0.0 && decode_ms >= 0.0,
+                "negative stage duration");
+  // Real chunk ops on the event graph, not a closed form: encoder, link and
+  // decoder are program-order resources; chunk i's transfer depends on its
+  // encode, its decode on its transfer. Stages split evenly across chunks
+  // (the codec's chunk table makes chunks independently decodable), so the
+  // realized makespan is (E + X + D + (chunks−1)·max(E,X,D)) / chunks — equal
+  // to E + X + D at chunks == 1 and never larger (see collectives.h).
+  Engine eng;
+  const int encoder = eng.add_resource(1);
+  const int link = eng.add_resource(1);
+  const int decoder = eng.add_resource(1);
+  const double c = static_cast<double>(chunks);
+  std::vector<int> enc_ops, xfer_ops, dec_ops;
+  enc_ops.reserve(static_cast<size_t>(chunks));
+  xfer_ops.reserve(static_cast<size_t>(chunks));
+  dec_ops.reserve(static_cast<size_t>(chunks));
+  for (int i = 0; i < chunks; ++i) {
+    enc_ops.push_back(eng.add_op(encoder, encode_ms / c));
+    xfer_ops.push_back(eng.add_op(link, transfer_ms / c));
+    dec_ops.push_back(eng.add_op(decoder, decode_ms / c));
+    eng.add_dep(xfer_ops.back(), enc_ops.back());
+    eng.add_dep(dec_ops.back(), xfer_ops.back());
+  }
+  const std::vector<OpTiming> times = eng.run();
+  return times[static_cast<size_t>(dec_ops.back())].end_ms;
 }
 
 }  // namespace actcomp::sim

@@ -45,4 +45,42 @@ double hierarchical_allreduce_ms(int64_t bytes, int intra_ranks,
 /// Point-to-point send of `bytes`.
 double p2p_ms(int64_t bytes, const LinkSpec& link);
 
+// ---------------------------------------------------------------------------
+// Lossless wire stage + chunk-pipelined transfers (DESIGN.md §16).
+// ---------------------------------------------------------------------------
+
+/// Cost-model view of a compress/lossless.h codec on a link: messages shrink
+/// by `ratio`, and each endpoint pays encode/decode at the measured
+/// throughputs (bench/kernels_bench records them per tier). With chunks > 1
+/// the codec's chunk table lets encode, transfer, and decode of successive
+/// chunks overlap — chunk_pipelined_ms() realizes that on a sim::Engine
+/// graph. Disabled (the default) is the exact pre-existing cost model.
+struct LosslessWireSpec {
+  bool enabled = false;
+  double ratio = 1.0;        ///< encoded bytes / raw bytes, in (0, 1]
+  double encode_gb_s = 0.0;  ///< 0 = free (pure volume-scaling model)
+  double decode_gb_s = 0.0;  ///< 0 = free
+  int chunks = 1;            ///< container chunks; 1 = no pipelining
+};
+
+/// Time to push `bytes` through a codec running at `gb_s`; 0 GB/s = free.
+double codec_ms(int64_t bytes, double gb_s);
+
+/// On-wire bytes for a raw payload under the spec (ceil of raw * ratio;
+/// unchanged when disabled).
+int64_t lossless_wire_bytes(int64_t raw_bytes, const LosslessWireSpec& spec);
+
+/// Makespan of an encode → transfer → decode chain split into `chunks` equal
+/// parts, with chunk i's transfer overlapping chunk i+1's encode and chunk
+/// i-1's decode. Modeled as real chunk ops on a sim::Engine event graph
+/// (three program-order resources: encoder, link, decoder; deps t_i ← e_i,
+/// d_i ← t_i). chunks == 1 realizes exactly enc + transfer + dec (the engine
+/// sums the chain left to right, so the double arithmetic is bit-identical
+/// to the unpipelined expression). Stages split evenly with no per-chunk
+/// latency, so the makespan (E + X + D + (chunks−1)·max(E,X,D)) / chunks is
+/// never larger than the unpipelined E + X + D and never smaller than
+/// max(E, X, D) (tests/engine_test.cpp pins both properties).
+double chunk_pipelined_ms(double encode_ms, double transfer_ms,
+                          double decode_ms, int chunks);
+
 }  // namespace actcomp::sim

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <random>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/collectives.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
 #include "sim/pipeline.h"
@@ -405,4 +407,70 @@ TEST(EngineProperty, FaultedPipelineNeverFasterThanClean) {
       }
     }
   }
+}
+
+// ---------- chunk-pipelined transfers (sim/collectives.h, DESIGN.md §16) ----
+
+TEST(ChunkPipelined, OneChunkIsExactlyTheSerializedSum) {
+  // chunks == 1 must be BIT-identical to encode + transfer + decode: the
+  // engine realizes the three-op chain left to right, the same floating-
+  // point order as the unpipelined expression.
+  for (const auto [e, x, d] : {std::array<double, 3>{3.0, 7.0, 2.0},
+                               std::array<double, 3>{0.1, 0.2, 0.3},
+                               std::array<double, 3>{0.0, 5.0, 0.0},
+                               std::array<double, 3>{1e-9, 1e3, 1e-9}}) {
+    EXPECT_EQ(sm::chunk_pipelined_ms(e, x, d, 1), e + x + d);
+  }
+}
+
+TEST(ChunkPipelined, NeverSlowerThanUnpipelinedNeverFasterThanBottleneck) {
+  std::mt19937_64 rng(404);
+  std::uniform_real_distribution<double> dur(0.0, 50.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double e = dur(rng), x = dur(rng), d = dur(rng);
+    const double serial = e + x + d;
+    const double bottleneck = std::max({e, x, d});
+    double prev = serial;
+    for (int chunks : {1, 2, 3, 4, 8, 16, 64}) {
+      const double t = sm::chunk_pipelined_ms(e, x, d, chunks);
+      // Splitting stages evenly (no per-chunk latency) can only help...
+      EXPECT_LE(t, serial * (1.0 + 1e-12) + 1e-12) << "chunks=" << chunks;
+      // ... but the busiest stage still has to stream every chunk.
+      EXPECT_GE(t, bottleneck * (1.0 - 1e-12) - 1e-12) << "chunks=" << chunks;
+      // More chunks never hurt: makespan = bottleneck + (serial-bottleneck)/c.
+      EXPECT_LE(t, prev * (1.0 + 1e-12) + 1e-12) << "chunks=" << chunks;
+      prev = t;
+    }
+  }
+}
+
+TEST(ChunkPipelined, MatchesTheClosedFormOnTheEventGraph) {
+  // The engine realization equals the uniform-chunk pipeline formula
+  // (serial + (chunks-1) * bottleneck) / chunks.
+  const double e = 6.0, x = 15.0, d = 3.0;
+  for (int chunks : {1, 2, 3, 5, 8}) {
+    const double want =
+        (e + x + d + (chunks - 1) * std::max({e, x, d})) / chunks;
+    EXPECT_NEAR(sm::chunk_pipelined_ms(e, x, d, chunks), want, 1e-9)
+        << "chunks=" << chunks;
+  }
+}
+
+TEST(ChunkPipelined, RejectsBadArguments) {
+  EXPECT_THROW(sm::chunk_pipelined_ms(1.0, 1.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(sm::chunk_pipelined_ms(-1.0, 1.0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(sm::codec_ms(-1, 1.0), std::invalid_argument);
+  EXPECT_THROW(sm::codec_ms(10, -1.0), std::invalid_argument);
+}
+
+TEST(ChunkPipelined, LosslessWireBytesRoundsUpAndGatesOnEnabled) {
+  sm::LosslessWireSpec spec;
+  EXPECT_EQ(sm::lossless_wire_bytes(1000, spec), 1000);  // disabled: identity
+  spec.enabled = true;
+  spec.ratio = 0.85;
+  EXPECT_EQ(sm::lossless_wire_bytes(1000, spec), 850);
+  EXPECT_EQ(sm::lossless_wire_bytes(1001, spec), 851);  // ceil, never cheats
+  EXPECT_EQ(sm::lossless_wire_bytes(0, spec), 0);
+  spec.ratio = 1.5;
+  EXPECT_THROW(sm::lossless_wire_bytes(1000, spec), std::invalid_argument);
 }

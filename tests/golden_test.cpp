@@ -73,6 +73,7 @@ INSTANTIATE_TEST_SUITE_P(Tables, Golden,
                          ::testing::Values("table4_breakdown_finetune",
                                            "table7_breakdown_pretrain",
                                            "table9_stage_comm",
-                                           "ablation_serving"));
+                                           "ablation_serving",
+                                           "ablation_wire_formats"));
 
 }  // namespace

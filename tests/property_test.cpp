@@ -5,10 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <tuple>
+#include <vector>
 
 #include "compress/error_feedback.h"
+#include "compress/lossless.h"
+#include "compress/wire.h"
 #include "compress/quantize.h"
 #include "compress/randomk.h"
 #include "compress/settings.h"
@@ -345,3 +351,198 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2, 3, 4, 8), ::testing::Values(1, 4, 9),
                        ::testing::Values(sm::ScheduleKind::kGpipe,
                                          sm::ScheduleKind::k1F1B)));
+
+// ---------- lossless wire codecs (WIRE_FORMATS.md §4-§5) ----------
+
+namespace {
+
+/// Payload families the codec must round-trip exactly: arbitrary bytes,
+/// fp16/fp32 streams (incl. NaN/Inf/±0 payloads), runs, and degenerate
+/// sizes. Indexed by the test parameter so failures name the family.
+std::vector<std::byte> lossless_payload(int family, uint64_t seed) {
+  ts::Generator gen(seed);
+  std::vector<std::byte> out;
+  auto push_fp16 = [&](const ts::Tensor& t) { cp::wire::append_fp16(out, t); };
+  switch (family) {
+    case 0:  // empty
+      return out;
+    case 1:  // single byte
+      out.push_back(std::byte{0xA7});
+      return out;
+    case 2: {  // uniform random bytes, odd (prime) length
+      const ts::Tensor u = gen.uniform(ts::Shape{997}, 0.0f, 256.0f);
+      for (int64_t i = 0; i < u.numel(); ++i) {
+        out.push_back(static_cast<std::byte>(
+            static_cast<int>(u.data()[static_cast<size_t>(i)]) & 0xFF));
+      }
+      return out;
+    }
+    case 3:  // fp16 stream of unit-normal activations
+      push_fp16(gen.normal(ts::Shape{37, 129}));
+      return out;
+    case 4: {  // fp16 stream with NaN / Inf / ±0 payloads mixed in
+      ts::Tensor t = gen.normal(ts::Shape{512});
+      t.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      t.data()[1] = std::numeric_limits<float>::infinity();
+      t.data()[2] = -std::numeric_limits<float>::infinity();
+      t.data()[3] = 0.0f;
+      t.data()[4] = -0.0f;
+      t.data()[5] = std::numeric_limits<float>::denorm_min();
+      push_fp16(t);
+      return out;
+    }
+    case 5: {  // fp32 bytes (stride-4 planes), raw bit pattern
+      const ts::Tensor t = gen.normal(ts::Shape{333}, 0.0f, 100.0f);
+      out.resize(static_cast<size_t>(t.numel()) * 4);
+      std::memcpy(out.data(), t.data().data(), out.size());
+      return out;
+    }
+    case 6:  // all-zero run (RLE-degenerate)
+      out.assign(4096, std::byte{0});
+      return out;
+    case 7: {  // long runs with rare breaks (PackBits control-byte edges)
+      out.assign(1000, std::byte{0x42});
+      for (size_t i = 0; i < out.size(); i += 129) out[i] = std::byte{0x99};
+      return out;
+    }
+    default:
+      ADD_FAILURE() << "unknown payload family " << family;
+      return out;
+  }
+}
+
+}  // namespace
+
+class LosslessRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int64_t>> {};
+
+TEST_P(LosslessRoundTrip, DecodeInvertsEncodeWithinTheSizeBound) {
+  const auto [codec_idx, family, chunk_bytes] = GetParam();
+  cp::LosslessCodec codec = cp::standard_lossless_codecs()
+      [static_cast<size_t>(codec_idx)];
+  codec.chunk_bytes = chunk_bytes;
+  const std::vector<std::byte> data =
+      lossless_payload(family, 1000 + static_cast<uint64_t>(family));
+  const std::vector<std::byte> enc = codec.encode(data);
+  // encode() never exceeds the closed-form upper bound wire_size() quotes.
+  EXPECT_LE(static_cast<int64_t>(enc.size()),
+            codec.max_encoded_bytes(static_cast<int64_t>(data.size())));
+  EXPECT_EQ(codec.decode(enc), data) << codec.name();
+}
+
+TEST_P(LosslessRoundTrip, TruncatedOrPaddedContainerThrows) {
+  const auto [codec_idx, family, chunk_bytes] = GetParam();
+  cp::LosslessCodec codec = cp::standard_lossless_codecs()
+      [static_cast<size_t>(codec_idx)];
+  codec.chunk_bytes = chunk_bytes;
+  const std::vector<std::byte> data =
+      lossless_payload(family, 2000 + static_cast<uint64_t>(family));
+  const std::vector<std::byte> enc = codec.encode(data);
+  // Every proper prefix is rejected (spot-check a spread of cut points, and
+  // every cut in the header region), as is trailing garbage.
+  std::vector<size_t> cuts{0, 1, 7, 12, 23};
+  for (size_t c = 0; c < enc.size(); c += enc.size() / 7 + 1) cuts.push_back(c);
+  cuts.push_back(enc.size() - 1);
+  for (size_t cut : cuts) {
+    if (cut >= enc.size()) continue;
+    const std::vector<std::byte> prefix(enc.begin(),
+                                        enc.begin() + static_cast<int64_t>(cut));
+    EXPECT_THROW(codec.decode(prefix), std::invalid_argument)
+        << codec.name() << " cut=" << cut;
+  }
+  std::vector<std::byte> padded = enc;
+  padded.push_back(std::byte{0x5A});
+  EXPECT_THROW(codec.decode(padded), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodecsXPayloads, LosslessRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7),
+                       ::testing::Values(int64_t{0}, int64_t{1000})));
+
+TEST(LosslessCodecProps, ChunkTableMatchesNumChunks) {
+  cp::LosslessCodec codec;
+  codec.chunk_bytes = 256;
+  EXPECT_EQ(codec.num_chunks(0), 1);
+  EXPECT_EQ(codec.num_chunks(1), 1);
+  EXPECT_EQ(codec.num_chunks(256), 1);
+  EXPECT_EQ(codec.num_chunks(257), 2);
+  EXPECT_EQ(codec.num_chunks(1024), 4);
+  // Chunked and unchunked containers decode to the same payload.
+  const std::vector<std::byte> data = lossless_payload(3, 77);
+  cp::LosslessCodec whole = codec;
+  whole.chunk_bytes = 0;
+  EXPECT_EQ(codec.decode(codec.encode(data)), whole.decode(whole.encode(data)));
+}
+
+TEST(LosslessCodecProps, EncodeIsDeterministic) {
+  const std::vector<std::byte> data = lossless_payload(3, 5);
+  for (const cp::LosslessCodec& codec : cp::standard_lossless_codecs()) {
+    EXPECT_EQ(codec.encode(data), codec.encode(data)) << codec.name();
+  }
+}
+
+TEST(LosslessCompressorProps, DecodeMatchesFp16RoundTripBitForBit) {
+  ts::Generator gen(31);
+  ts::Tensor x = gen.normal(ts::Shape{19, 64});
+  x.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  x.data()[1] = -0.0f;
+  x.data()[2] = std::numeric_limits<float>::infinity();
+  cp::LosslessCompressor c;
+  const auto msg = c.encode(x);
+  // wire_size() is a documented UPPER BOUND for the lossless formats (the
+  // true size is data-dependent); encode must stay within it.
+  EXPECT_LE(msg.body_bytes(), c.wire_size(x.shape()).total_bytes());
+  const ts::Tensor via_wire = c.decode(msg);
+  const ts::Tensor via_round_trip = c.round_trip(x);
+  ASSERT_EQ(via_wire.numel(), via_round_trip.numel());
+  for (int64_t i = 0; i < via_wire.numel(); ++i) {
+    uint32_t a = 0, bbits = 0;
+    std::memcpy(&a, &via_wire.data()[static_cast<size_t>(i)], 4);
+    std::memcpy(&bbits, &via_round_trip.data()[static_cast<size_t>(i)], 4);
+    EXPECT_EQ(a, bbits) << "element " << i;
+  }
+}
+
+class StackedLossless : public ::testing::TestWithParam<cp::Setting> {};
+
+TEST_P(StackedLossless, StackingIsInvisibleToTheReceiver) {
+  const cp::Setting setting = GetParam();
+  const int64_t hidden = 64;
+  ts::Generator gen_a(9), gen_b(9), gx(123);
+  const ts::Tensor x = gx.normal(ts::Shape{32, hidden});
+  // Two identically-seeded inner compressors: one unstacked reference, one
+  // wrapped. The stacked path must reproduce the unstacked lossy result bit
+  // for bit — the lossless layer recovers the inner wire bytes exactly.
+  auto reference = cp::make_compressor(setting, hidden, gen_a);
+  auto inner = cp::make_compressor(setting, hidden, gen_b);
+  cp::SegmentLayoutFn layout;
+  if (setting == cp::Setting::kT3 || setting == cp::Setting::kR2) {
+    layout = cp::segments_topk();
+  } else if (setting == cp::Setting::kQ2) {
+    layout = cp::segments_quantize();
+  }  // default: whole-body segment
+  const auto ref_msg = reference->encode(x);
+  cp::StackedCompressor stacked(std::move(inner), cp::LosslessCodec{},
+                                std::move(layout));
+  const auto stacked_msg = stacked.encode(x);
+  EXPECT_LE(stacked_msg.body_bytes(),
+            stacked.wire_size(x.shape()).total_bytes());
+  const ts::Tensor want = reference->decode(ref_msg);
+  const ts::Tensor got = stacked.decode(stacked_msg);
+  ASSERT_EQ(got.numel(), want.numel());
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    EXPECT_EQ(got.data()[static_cast<size_t>(i)],
+              want.data()[static_cast<size_t>(i)])
+        << "element " << i;
+  }
+  // Truncating the stacked body must throw, not mis-decode.
+  cp::CompressedMessage cut = stacked_msg;
+  cut.body.resize(cut.body.size() / 2);
+  EXPECT_THROW(stacked.decode(cut), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Settings, StackedLossless,
+                         ::testing::Values(cp::Setting::kT3, cp::Setting::kR2,
+                                           cp::Setting::kQ2));

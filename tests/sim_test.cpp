@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/binder.h"
 #include "core/compression_plan.h"
@@ -617,4 +618,104 @@ TEST(PipelineBoundaries, BalancedSplit) {
   EXPECT_EQ(core::pipeline_boundaries(24, 4), (std::vector<int64_t>{5, 11, 17}));
   EXPECT_EQ(core::pipeline_boundaries(24, 1), (std::vector<int64_t>{}));
   EXPECT_EQ(core::pipeline_boundaries(7, 2), (std::vector<int64_t>{3}));
+}
+
+// ---------- lossless wire stage (DESIGN.md §16, compress/lossless.h) ----------
+
+namespace {
+
+pl::SimOptions lossless_opts(double ratio, double enc_gb_s, double dec_gb_s,
+                             int chunks) {
+  pl::SimOptions o;
+  o.lossless_wire.enabled = true;
+  o.lossless_wire.ratio = ratio;
+  o.lossless_wire.encode_gb_s = enc_gb_s;
+  o.lossless_wire.decode_gb_s = dec_gb_s;
+  o.lossless_wire.chunks = chunks;
+  return o;
+}
+
+pl::ModelParallelSimulator lossless_sim(const pl::SimOptions& o) {
+  return pl::ModelParallelSimulator(sm::ClusterSpec::local_pcie(),
+                                    actcomp::nn::BertConfig::bert_large(),
+                                    {2, 2}, {32, 1, 512}, o);
+}
+
+}  // namespace
+
+TEST(MpSimLossless, NeutralSpecIsBitIdenticalToDisabled) {
+  // ratio 1 + free codecs + chunks 1 must reproduce the pre-existing cost
+  // model exactly: chunk_pipelined_ms(0, x, 0, 1) evaluates (0 + x) + 0 in
+  // program order and ceil(raw * 1.0) == raw. This pins the enabled code
+  // path's arithmetic against the disabled branch the goldens already pin.
+  auto base = lossless_sim(pl::SimOptions{});
+  auto neutral = lossless_sim(lossless_opts(1.0, 0.0, 0.0, 1));
+  const core::CompressionPlan plans[] = {
+      core::CompressionPlan::none(),
+      core::CompressionPlan::paper_default(cp::Setting::kQ2, 24),
+      core::CompressionPlan::paper_default(cp::Setting::kT3, 24)};
+  for (const auto& plan : plans) {
+    const auto a = base.run(plan);
+    const auto b = neutral.run(plan);
+    EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+    EXPECT_EQ(a.tensor_comm_ms, b.tensor_comm_ms);
+    EXPECT_EQ(a.total_ms(), b.total_ms());
+  }
+  EXPECT_EQ(base.run_baseline().total_ms(), neutral.run_baseline().total_ms());
+}
+
+TEST(MpSimLossless, RatioShrinksCommWhenCodecsAreFast) {
+  // An 0.85x wire ratio at GPU-class codec speed must cut TP collective time
+  // on PCIe, and deeper chunking can only help (pipelining hides codec time
+  // behind the transfer; tests/engine_test.cpp pins the makespan formula).
+  const auto off = lossless_sim(pl::SimOptions{}).run_baseline();
+  // chunks=1 pays the full serialized codec time, so it may exceed the raw
+  // wire; deeper chunking must then be monotone non-increasing.
+  double prev = std::numeric_limits<double>::infinity();
+  for (int chunks : {1, 2, 4, 8, 16, 32}) {
+    const auto on =
+        lossless_sim(lossless_opts(0.85, 50.0, 100.0, chunks)).run_baseline();
+    EXPECT_LE(on.tensor_comm_ms, prev * (1.0 + 1e-12)) << "chunks=" << chunks;
+    prev = on.tensor_comm_ms;
+    EXPECT_GT(on.lossless_enc_ms, 0.0);
+    EXPECT_GT(on.lossless_dec_ms, 0.0);
+  }
+  // At chunks=8 the codec is fully amortized: comm well below the raw wire.
+  const auto on8 = lossless_sim(lossless_opts(0.85, 50.0, 100.0, 8)).run_baseline();
+  EXPECT_LT(on8.tensor_comm_ms, 0.95 * off.tensor_comm_ms);
+}
+
+TEST(MpSimLossless, StacksOverLossyWireFormats) {
+  // Stacked pricing (lossless over a lossy plan) still reduces the lossy
+  // run's comm: the lossy wire body shrinks again by the lossless ratio.
+  const auto plan = core::CompressionPlan::paper_default(cp::Setting::kT3, 24);
+  const auto lossy = lossless_sim(pl::SimOptions{}).run(plan);
+  const auto stacked =
+      lossless_sim(lossless_opts(0.44, 50.0, 100.0, 8)).run(plan);
+  EXPECT_LT(stacked.tensor_comm_ms, lossy.tensor_comm_ms);
+  EXPECT_LT(stacked.total_ms(), lossy.total_ms());
+}
+
+TEST(MpSimLossless, AccumulatorsAreZeroWhenDisabled) {
+  const auto off = lossless_sim(pl::SimOptions{}).run_baseline();
+  EXPECT_EQ(off.lossless_enc_ms, 0.0);
+  EXPECT_EQ(off.lossless_dec_ms, 0.0);
+}
+
+TEST(MpSimLossless, CtorRejectsBadSpecs) {
+  EXPECT_THROW(lossless_sim(lossless_opts(0.0, 50.0, 100.0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(lossless_sim(lossless_opts(1.5, 50.0, 100.0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(lossless_sim(lossless_opts(0.85, 50.0, 100.0, 0)),
+               std::invalid_argument);
+  // Interleaved virtual stages are out of scope for the wire stage.
+  pl::SimOptions o = lossless_opts(0.85, 50.0, 100.0, 8);
+  o.schedule = sm::ScheduleKind::kInterleaved1F1B;
+  o.virtual_stages = 2;
+  EXPECT_THROW(pl::ModelParallelSimulator(
+                   sm::ClusterSpec::aws_p3(1),
+                   actcomp::nn::BertConfig::bert_large(), {1, 4},
+                   {128, 8, 128}, o),
+               std::invalid_argument);
 }

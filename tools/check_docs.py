@@ -13,6 +13,13 @@ Two guarantees:
    that actually builds. A bench added without documentation — or
    documentation for a bench that was deleted — fails CI.
 
+3. WIRE_FORMATS.md's registry tables agree with the code's label switches,
+   in both directions: the settings table against setting_label() in
+   src/compress/settings.cpp, and the lossless algo / plane split tables
+   against lossless_algo_label() / plane_split_label() in
+   src/compress/lossless.cpp. A wire format added to the code without a
+   spec row — or a spec row for a format the code no longer has — fails CI.
+
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -79,17 +86,86 @@ def check_bench_coverage(errors):
             "bench/CMakeLists.txt")
 
 
+# A registry table in WIRE_FORMATS.md: an HTML marker comment, then a
+# markdown table whose first column holds the backticked format label.
+REGISTRY_MARKER_RE = re.compile(r"<!--\s*registry:([a-z-]+)\s*-->")
+TABLE_LABEL_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+CASE_LABEL_RE = {
+    "settings": re.compile(r'case Setting::k\w+:\s*return "([^"]+)";'),
+    "lossless-algo": re.compile(r'case LosslessAlgo::k\w+:\s*return "([^"]+)";'),
+    "plane-split": re.compile(r'case PlaneSplit::k\w+:\s*return "([^"]+)";'),
+}
+REGISTRY_SOURCE = {
+    "settings": os.path.join("src", "compress", "settings.cpp"),
+    "lossless-algo": os.path.join("src", "compress", "lossless.cpp"),
+    "plane-split": os.path.join("src", "compress", "lossless.cpp"),
+}
+
+
+def spec_registries(spec_text):
+    """Labels listed under each `<!-- registry:name -->` marker's table."""
+    registries = {}
+    lines = spec_text.splitlines()
+    for i, line in enumerate(lines):
+        m = REGISTRY_MARKER_RE.search(line)
+        if not m:
+            continue
+        labels = []
+        for row in lines[i + 1:]:
+            if not row.startswith("|"):
+                if labels:
+                    break  # table ended
+                continue  # header / separator rows before the first label
+            cell = TABLE_LABEL_RE.match(row)
+            if cell:
+                labels.append(cell.group(1))
+        registries[m.group(1)] = labels
+    return registries
+
+
+def check_wire_format_spec(errors):
+    spec_path = os.path.join(ROOT, "WIRE_FORMATS.md")
+    if not os.path.exists(spec_path):
+        errors.append("WIRE_FORMATS.md: missing (the wire-format spec is "
+                      "required; see tools/check_docs.py)")
+        return
+    with open(spec_path, encoding="utf-8") as f:
+        documented = spec_registries(f.read())
+
+    for name, case_re in sorted(CASE_LABEL_RE.items()):
+        source_rel = REGISTRY_SOURCE[name]
+        with open(os.path.join(ROOT, source_rel), encoding="utf-8") as f:
+            in_code = set(case_re.findall(f.read()))
+        if not in_code:
+            errors.append(f"{source_rel}: no labels found for registry "
+                          f"'{name}' (regex drifted from the code?)")
+            continue
+        if name not in documented:
+            errors.append(f"WIRE_FORMATS.md: missing `<!-- registry:{name} "
+                          "-->` table")
+            continue
+        in_spec = set(documented[name])
+        for label in sorted(in_code - in_spec):
+            errors.append(f"WIRE_FORMATS.md: registry '{name}' lacks a row "
+                          f"for `{label}` ({source_rel})")
+        for label in sorted(in_spec - in_code):
+            errors.append(f"WIRE_FORMATS.md: registry '{name}' row `{label}` "
+                          f"names no format in {source_rel}")
+
+
 def main():
     errors = []
     check_links(errors)
     check_bench_coverage(errors)
+    check_wire_format_spec(errors)
     for e in errors:
         print(e, file=sys.stderr)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         return 1
     print("check_docs: all markdown links resolve; EXPERIMENTS.md and "
-          "bench/CMakeLists.txt agree")
+          "bench/CMakeLists.txt agree; WIRE_FORMATS.md registries match "
+          "the code")
     return 0
 
 

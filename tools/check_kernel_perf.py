@@ -15,6 +15,11 @@ speed drifts with the box. Baseline-only keys (the full sweep emits more
 shapes than --quick) are reported as skipped, never failed; at least one
 shared record is required.
 
+The current run must also carry at least one `lossless(...)` codec record
+(the per-tier encode/decode GB/s of standard_lossless_codecs(), see
+WIRE_FORMATS.md §6) — their silent disappearance from kernels_bench would
+otherwise leave the lossless wire stage ungated.
+
 Usage: check_kernel_perf.py BASELINE.json CURRENT.json [threshold_pct]
 """
 
@@ -78,6 +83,9 @@ def main(argv):
               f"not measured by --quick)")
     if compared == 0:
         raise SystemExit("no records shared between baseline and current run")
+    if not any(op.startswith("lossless(") for op, _, _ in cur):
+        raise SystemExit("current run has no lossless(...) codec records — "
+                         "kernels_bench stopped measuring the lossless tiers")
     if failed:
         print(f"{failed} kernel record(s) regressed more than "
               f"{threshold_pct}% vs committed baseline", file=sys.stderr)
