@@ -1,0 +1,280 @@
+// Ablation: serving under failures — routing, hedging, and SLO-aware
+// compression degradation on a replicated fleet.
+//
+// ablation_serving priced compressed TP collectives on a clean single
+// server; this bench asks what happens on the fleet an operator actually
+// runs: replicas crash and recover, some brown out (persistently slow), and
+// the arrival rate does not politely stay under capacity. Three panels, all
+// driven by the fault-tolerant serving runtime (sim/serving_resilience.h)
+// over seeded traces — every number is deterministic.
+//
+//   1. Routing x replica MTBF: a 3-replica NVLink fleet under seeded
+//      crash/recovery processes. Blind round-robin keeps dispatching to dead
+//      replicas and pays for it in timeouts and retries; join-shortest-queue
+//      routes around them; health-aware ejection converges to JSQ after one
+//      timeout per outage.
+//   2. Hedged retries on a browned-out fleet: one of two replicas runs 8x
+//      slow (a degraded node that still answers health checks — the
+//      classic gray failure). Duplicating a straggling request to the other
+//      replica after a latency threshold collapses the tail for a bounded
+//      token overhead (first result wins, the loser is cancelled).
+//   3. SLO-aware degradation under overload: a single cross-node TP=8
+//      server offered ~4% more load than the uncompressed setting sustains.
+//      The fixed `w/o` config misses its p99 SLO and its queue diverges;
+//      the adaptive ladder escalates to Top-K compression when the measured
+//      p99 breaches the target and recovers the SLO. A fixed-Top-K oracle
+//      bounds what escalation can buy. Note the serving ladder here is
+//      {w/o, T3}: unlike training, 8-bit quantization (Q3) is *slower*
+//      than no compression for decode on this platform (its per-step
+//      encode+dispatch overhead exceeds the bandwidth it saves), so a
+//      useful degradation ladder must be priced per deployment — the same
+//      per-deployment verdict as the paper's training tables.
+//
+//   $ ./ablation_serving_faults [num_requests] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/simbench.h"
+#include "sim/serving_resilience.h"
+
+int main(int argc, char** argv) {
+  using namespace actcomp;
+  obs::RunReport report("ablation_serving_faults");
+  const int num_requests = argc > 1 ? std::atoi(argv[1]) : 96;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const nn::BertConfig model = nn::BertConfig::bert_large();
+  report.set_config("num_requests", int64_t{num_requests});
+  report.set_config("seed", static_cast<int64_t>(seed));
+
+  std::printf(
+      "Ablation — fault-tolerant serving: routing, hedging, SLO degradation\n"
+      "(BERT-Large; seeded replica faults; %d-request panels 1-2, seed "
+      "%llu)\n",
+      num_requests, static_cast<unsigned long long>(seed));
+
+  // Shared fleet pricing: the NVLink panels run TP=4 in one box, the
+  // degradation panel TP=8 across two nodes' 1.25 GB/s uplink.
+  parallel::ModelParallelSimulator nvlink(sim::ClusterSpec::aws_p3(1), model,
+                                          {4, 1}, parallel::TrainJob{});
+  parallel::ModelParallelSimulator crossnode(sim::ClusterSpec::aws_p3(2),
+                                             model, {8, 1},
+                                             parallel::TrainJob{});
+  const auto nvlink_ladder =
+      parallel::make_serving_cost_ladder(nvlink, model.num_layers);
+  const auto crossnode_ladder =
+      parallel::make_serving_cost_ladder(crossnode, model.num_layers);
+
+  // --- Panel 1: routing policy x replica MTBF on a crashy fleet. ---------
+  {
+    std::printf(
+        "\n=== Routing x replica MTBF (3 NVLink replicas, TP=4; prompt 128, "
+        "generate 32;\n    retry on 1 s timeout, up to 4 attempts; repair "
+        "2 s) ===\n\n");
+    sim::PoissonTraceSpec spec;
+    spec.rate_per_s = 24.0;
+    spec.num_requests = num_requests;
+    spec.prompt_tokens = 128;
+    spec.max_new_tokens = 32;
+    spec.seed = seed;
+    const auto trace = sim::poisson_trace(spec);
+
+    const double mtbfs[] = {0.0, 20000.0, 5000.0};  // 0 = no faults
+    const sim::RoutePolicy policies[] = {
+        sim::RoutePolicy::kRoundRobin, sim::RoutePolicy::kJoinShortestQueue,
+        sim::RoutePolicy::kHealthAware};
+    std::vector<std::string> header{"policy",   "mtbf s", "done",
+                                    "failed",   "retries", "timeouts",
+                                    "e2e p99",  "goodput"};
+    std::vector<std::vector<std::string>> body;
+    for (const double mtbf : mtbfs) {
+      for (const sim::RoutePolicy policy : policies) {
+        sim::ResilientServingConfig cfg;
+        cfg.num_replicas = 3;
+        cfg.policy = policy;
+        cfg.max_batch = 8;
+        cfg.token_budget = 2048;
+        cfg.cost_ladder = {nvlink_ladder[0]};
+        if (mtbf > 0.0) {
+          for (int r = 0; r < 3; ++r) {
+            sim::ReplicaFaultSpec fs;
+            fs.mtbf_ms = mtbf;
+            fs.repair_ms = 2000.0;
+            fs.seed = seed * 100 + static_cast<uint64_t>(r);
+            cfg.replica_faults.push_back(fs);
+          }
+        }
+        cfg.retry.max_attempts = 4;
+        cfg.retry.timeout_ms = 1000.0;
+        cfg.retry.backoff_ms = 5.0;
+        if (policy == sim::RoutePolicy::kHealthAware) {
+          cfg.eject_ms = 2000.0;
+        }
+        const auto rep = sim::simulate_serving_resilient(trace, cfg);
+        body.push_back({sim::route_policy_label(policy),
+                        mtbf > 0.0 ? bench::fmt(mtbf / 1000.0, 0) : "inf",
+                        bench::fmt(static_cast<double>(rep.serving.completed), 0),
+                        bench::fmt(static_cast<double>(rep.failed), 0),
+                        bench::fmt(static_cast<double>(rep.retries), 0),
+                        bench::fmt(static_cast<double>(rep.timeouts), 0),
+                        bench::fmt(rep.serving.e2e.p99_ms),
+                        bench::fmt(rep.goodput_tok_s())});
+        obs::json::Value rec = obs::json::Value::object();
+        rec.set("panel", std::string("routing_mtbf"));
+        rec.set("policy", std::string(sim::route_policy_label(policy)));
+        rec.set("mtbf_ms", mtbf);
+        rec.set("completed", rep.serving.completed);
+        rec.set("failed", rep.failed);
+        rec.set("retries", rep.retries);
+        rec.set("timeouts", rep.timeouts);
+        rec.set("crashes", rep.crashes);
+        rec.set("e2e_p99_ms", rep.serving.e2e.p99_ms);
+        rec.set("goodput_tok_s", rep.goodput_tok_s());
+        report.add_record(std::move(rec));
+      }
+    }
+    bench::print_table(header, body, 10);
+  }
+
+  // --- Panel 2: hedged retries against a browned-out replica. ------------
+  {
+    std::printf(
+        "\n=== Hedging vs a gray failure (2 NVLink replicas, one 8x slow; "
+        "round-robin;\n    hedge duplicates to the other replica, first "
+        "result wins) ===\n\n");
+    sim::PoissonTraceSpec spec;
+    spec.rate_per_s = 10.0;
+    spec.num_requests = num_requests;
+    spec.prompt_tokens = 128;
+    spec.max_new_tokens = 32;
+    spec.seed = seed;
+    const auto trace = sim::poisson_trace(spec);
+
+    const double hedges_ms[] = {0.0, 400.0, 150.0};  // 0 = hedging off
+    std::vector<std::string> header{"hedge ms", "e2e p50", "e2e p99",
+                                    "hedges",   "wins",    "wasted tok",
+                                    "goodput"};
+    std::vector<std::vector<std::string>> body;
+    for (const double hedge_after : hedges_ms) {
+      sim::ResilientServingConfig cfg;
+      cfg.num_replicas = 2;
+      cfg.policy = sim::RoutePolicy::kRoundRobin;
+      cfg.max_batch = 8;
+      cfg.token_budget = 2048;
+      cfg.cost_ladder = {nvlink_ladder[0]};
+      sim::ReplicaFaultSpec slow;
+      slow.slow_mtbf_ms = 1e-3;  // brown-out opens immediately...
+      slow.slow_duration_ms = 1e12;  // ...and never closes
+      slow.slow_factor = 8.0;
+      slow.seed = seed;
+      cfg.replica_faults = {slow, sim::ReplicaFaultSpec{}};
+      cfg.retry.hedge_after_ms = hedge_after;
+      const auto rep = sim::simulate_serving_resilient(trace, cfg);
+      body.push_back({hedge_after > 0.0 ? bench::fmt(hedge_after, 0) : "off",
+                      bench::fmt(rep.serving.e2e.p50_ms),
+                      bench::fmt(rep.serving.e2e.p99_ms),
+                      bench::fmt(static_cast<double>(rep.hedges), 0),
+                      bench::fmt(static_cast<double>(rep.hedge_wins), 0),
+                      bench::fmt(static_cast<double>(rep.wasted_tokens), 0),
+                      bench::fmt(rep.goodput_tok_s())});
+      obs::json::Value rec = obs::json::Value::object();
+      rec.set("panel", std::string("hedging"));
+      rec.set("hedge_after_ms", hedge_after);
+      rec.set("e2e_p50_ms", rep.serving.e2e.p50_ms);
+      rec.set("e2e_p99_ms", rep.serving.e2e.p99_ms);
+      rec.set("hedges", rep.hedges);
+      rec.set("hedge_wins", rep.hedge_wins);
+      rec.set("wasted_tokens", rep.wasted_tokens);
+      rec.set("goodput_tok_s", rep.goodput_tok_s());
+      report.add_record(std::move(rec));
+    }
+    bench::print_table(header, body, 10);
+  }
+
+  // --- Panel 3: SLO-aware degradation under overload. --------------------
+  {
+    std::printf(
+        "\n=== SLO-aware degradation (1 cross-node TP=8 server; prompt 512, "
+        "generate 4;\n    800 requests at 10.2 req/s — ~4%% over the w/o "
+        "capacity; SLO: e2e p99 <= 2000 ms) ===\n\n");
+    sim::PoissonTraceSpec spec;
+    spec.rate_per_s = 10.2;
+    spec.num_requests = 800;
+    spec.prompt_tokens = 512;
+    spec.max_new_tokens = 4;
+    spec.seed = seed;
+    const auto trace = sim::poisson_trace(spec);
+    const double slo_ms = 2000.0;
+
+    struct Mode {
+      const char* label;
+      std::vector<sim::StepCostFn> ladder;
+      bool adaptive;
+      const char* fixed_rung;  ///< reported rung when not adaptive
+    };
+    const Mode modes[] = {
+        {"fixed w/o", {crossnode_ladder[0]}, false, "w/o"},
+        {"fixed T3 (oracle)", {crossnode_ladder[3]}, false, "T3"},
+        {"adaptive w/o->T3",
+         {crossnode_ladder[0], crossnode_ladder[3]},
+         true,
+         nullptr},
+    };
+    std::vector<std::string> header{"mode",    "e2e p50", "e2e p99",
+                                    "SLO",     "goodput", "esc",
+                                    "final rung"};
+    std::vector<std::vector<std::string>> body;
+    for (const Mode& mode : modes) {
+      sim::ResilientServingConfig cfg;
+      cfg.num_replicas = 1;
+      cfg.max_batch = 8;
+      cfg.token_budget = 8192;
+      cfg.cost_ladder = mode.ladder;
+      if (mode.adaptive) {
+        cfg.slo_e2e_p99_ms = slo_ms;
+        cfg.degrade.enabled = true;
+        cfg.degrade.window = 8;
+        cfg.degrade.hold_windows = 2;
+        cfg.degrade.recover_fraction = 0.25;
+      }
+      const auto rep = sim::simulate_serving_resilient(trace, cfg);
+      const char* rung = mode.adaptive
+                             ? (rep.final_level == 0 ? "w/o" : "T3")
+                             : mode.fixed_rung;
+      body.push_back({mode.label, bench::fmt(rep.serving.e2e.p50_ms),
+                      bench::fmt(rep.serving.e2e.p99_ms),
+                      rep.slo_met(slo_ms) ? "met" : "MISSED",
+                      bench::fmt(rep.goodput_tok_s()),
+                      bench::fmt(static_cast<double>(rep.escalations), 0),
+                      rung});
+      obs::json::Value rec = obs::json::Value::object();
+      rec.set("panel", std::string("slo_degradation"));
+      rec.set("mode", std::string(mode.label));
+      rec.set("slo_ms", slo_ms);
+      rec.set("e2e_p50_ms", rep.serving.e2e.p50_ms);
+      rec.set("e2e_p99_ms", rep.serving.e2e.p99_ms);
+      rec.set("slo_met", rep.slo_met(slo_ms));
+      rec.set("goodput_tok_s", rep.goodput_tok_s());
+      rec.set("escalations", int64_t{rep.escalations});
+      rec.set("final_level", int64_t{rep.final_level});
+      report.add_record(std::move(rec));
+    }
+    bench::print_table(header, body, 10);
+  }
+
+  std::printf(
+      "\nTakeaway: fault tolerance in serving is three separate levers and\n"
+      "the simulator prices each. Routing only needs queue visibility to\n"
+      "erase the cost of hard crashes (JSQ matches health-aware ejection;\n"
+      "blind round-robin pays a timeout per dead dispatch). Gray failures\n"
+      "are the opposite: the browned-out replica still accepts work, so\n"
+      "only hedging rescues its requests — for a small wasted-token bill.\n"
+      "And when the whole fleet is the bottleneck, the compression ladder\n"
+      "is the last resort: escalating to Top-K under a breached SLO buys\n"
+      "the few percent of capacity that separate a diverging queue from a\n"
+      "stable one, which is exactly the knife's edge where the paper's\n"
+      "per-deployment pricing question matters for inference too.\n");
+  return 0;
+}

@@ -68,7 +68,8 @@ tsan() {
   cmake --build build-tsan -j "$jobs" \
     --target core_test tensor_test compress_test obs_test \
              checkpoint_test recovery_test topology_test \
-             kv_cache_test serving_test property_test
+             kv_cache_test serving_test serving_resilience_test \
+             property_test
   # Everything that calls parallel_for runs under TSan: the runtime itself
   # (core/), the tensor kernels (tensor/), the compressor kernels
   # (compress/), and the profiler/registry (obs/), whose zone buffers and
@@ -78,7 +79,9 @@ tsan() {
   # topology/ because the 3D simulator it drives is the newest surface the
   # sanitizers should sweep. kv_cache/ runs its differential decode harness
   # at 1 and 4 pool threads (bit-identity across thread counts is exactly a
-  # TSan question), and serving/ joins as the newest engine-driven surface.
+  # TSan question), and serving/ joins as the newest engine-driven surface,
+  # with serving_resilience/ riding along: the fleet scheduler's seeded
+  # determinism contract (same report at any thread count) is a TSan claim.
   # The lossless wire suites join through compress/ (codec unit tests) and
   # the property/Lossless|Stacked slices: the stacked compressor drives the
   # Top-K/quantize inner codecs' parallel_for gathers under TSan.
@@ -86,7 +89,7 @@ tsan() {
   # deselecting the slice.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan \
-      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/|topology/|kv_cache/|serving/|property/Lossless|property/Stacked' \
+      -R 'core/|tensor/|compress/|obs/|checkpoint/|recovery/|topology/|kv_cache/|serving/|serving_resilience/|property/Lossless|property/Stacked' \
       --no-tests=error --output-on-failure -j "$jobs"
 }
 

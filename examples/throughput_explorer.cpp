@@ -9,6 +9,11 @@
 //                           [--dp <replicas>] [--topology <spine>]
 //                           [--serve] [--rate <req/s>] [--prompt <tokens>]
 //                           [--gen <tokens>] [--requests <n>]
+//                           [--trace-out <file>] [--trace-in <file>]
+//                           [--replicas <n>] [--serve-policy rr|jsq|health]
+//                           [--serve-mtbf <ms>] [--serve-repair <ms>]
+//                           [--serve-timeout <ms>] [--hedge <ms>]
+//                           [--serve-slo <p99 ms>]
 //                           [pcie|nvlink|multinode|datacenter] [tp] [pp]
 //                           [micro_batch] [num_micro] [seq]
 //   $ ./throughput_explorer nvlink 4 1 32 1 512
@@ -38,6 +43,18 @@
 // forward. Reported per setting: TTFT and per-output-token latency
 // percentiles, end-to-end p99, and throughput.
 //
+// --trace-out writes the arrival trace to a JSON file and --trace-in
+// replays one (sim/serving_trace.h), so two invocations — different
+// policies, fleet sizes, machines — score the exact same workload.
+// --replicas > 1, --serve-mtbf, or --serve-slo switch the serving run to
+// the fault-tolerant fleet runtime (sim/serving_resilience.h): each
+// replica gets a seeded crash/recovery process (--serve-mtbf/--serve-repair),
+// the router policy is --serve-policy (rr | jsq | health), requests retry
+// after --serve-timeout ms, --hedge duplicates a straggling request to a
+// second replica, and --serve-slo arms the SLO-aware degradation ladder
+// (w/o -> Q8 -> Q4 -> Top-K) that escalates compression when the measured
+// p99 breaches the target and de-escalates with hysteresis.
+//
 // With --mtbf <per-stage MTBF, ms>, the explorer also projects the job onto
 // the crash-recovery model (sim/recovery.h): using the best setting's
 // iteration time as the step cost, it reports the Young/Daly optimal
@@ -58,6 +75,8 @@
 #include "sim/hardware.h"
 #include "sim/recovery.h"
 #include "sim/serving.h"
+#include "sim/serving_resilience.h"
+#include "sim/serving_trace.h"
 
 int main(int argc, char** argv) {
   using namespace actcomp;
@@ -71,6 +90,14 @@ int main(int argc, char** argv) {
   int64_t serve_prompt = 128;
   int64_t serve_gen = 32;
   int serve_requests = 64;
+  std::string trace_in, trace_out;
+  int replicas = 1;
+  std::string serve_policy = "jsq";
+  double serve_mtbf = 0.0;    // per-replica crash MTBF; 0 = no crashes
+  double serve_repair = 0.0;  // 0 = default to mtbf / 10
+  double serve_timeout = 0.0;
+  double hedge_after = 0.0;
+  double serve_slo = 0.0;  // e2e p99 target; 0 = no degradation ladder
   std::string topology = "flat";
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +114,24 @@ int main(int argc, char** argv) {
       serve_gen = std::atoll(argv[++i]);
     } else if (a == "--requests" && i + 1 < argc) {
       serve_requests = std::atoi(argv[++i]);
+    } else if (a == "--trace-in" && i + 1 < argc) {
+      trace_in = argv[++i];
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (a == "--replicas" && i + 1 < argc) {
+      replicas = std::atoi(argv[++i]);
+    } else if (a == "--serve-policy" && i + 1 < argc) {
+      serve_policy = argv[++i];
+    } else if (a == "--serve-mtbf" && i + 1 < argc) {
+      serve_mtbf = std::atof(argv[++i]);
+    } else if (a == "--serve-repair" && i + 1 < argc) {
+      serve_repair = std::atof(argv[++i]);
+    } else if (a == "--serve-timeout" && i + 1 < argc) {
+      serve_timeout = std::atof(argv[++i]);
+    } else if (a == "--hedge" && i + 1 < argc) {
+      hedge_after = std::atof(argv[++i]);
+    } else if (a == "--serve-slo" && i + 1 < argc) {
+      serve_slo = std::atof(argv[++i]);
     } else if (a == "--mtbf" && i + 1 < argc) {
       mtbf_ms = std::atof(argv[++i]);
     } else if (a == "--ckpt-interval" && i + 1 < argc) {
@@ -192,13 +237,26 @@ int main(int argc, char** argv) {
   }
 
   if (serve_mode) {
-    sim::PoissonTraceSpec spec;
-    spec.rate_per_s = rate_per_s;
-    spec.num_requests = serve_requests;
-    spec.prompt_tokens = serve_prompt;
-    spec.max_new_tokens = serve_gen;
-    spec.seed = 1;
-    const auto trace = sim::poisson_trace(spec);
+    std::vector<sim::ServingRequest> trace;
+    if (!trace_in.empty()) {
+      trace = sim::load_serving_trace(trace_in);
+      serve_requests = static_cast<int>(trace.size());
+      std::printf("\nReplaying %d requests from %s\n", serve_requests,
+                  trace_in.c_str());
+    } else {
+      sim::PoissonTraceSpec spec;
+      spec.rate_per_s = rate_per_s;
+      spec.num_requests = serve_requests;
+      spec.prompt_tokens = serve_prompt;
+      spec.max_new_tokens = serve_gen;
+      spec.seed = 1;
+      trace = sim::poisson_trace(spec);
+    }
+    if (!trace_out.empty()) {
+      sim::save_serving_trace(trace_out, trace);
+      std::printf("\nWrote %zu-request trace to %s\n", trace.size(),
+                  trace_out.c_str());
+    }
     report.set_config("serve_rate_per_s", rate_per_s);
     report.set_config("serve_prompt", serve_prompt);
     report.set_config("serve_gen", serve_gen);
@@ -244,6 +302,91 @@ int main(int argc, char** argv) {
         "token per sequence, so compression pays here only when the TP link\n"
         "is slow enough that even tiny collectives are bandwidth-bound.\n",
         compress::setting_label(best_serve).c_str(), best_p99);
+
+    if (replicas > 1 || serve_mtbf > 0.0 || serve_slo > 0.0 ||
+        hedge_after > 0.0 || serve_timeout > 0.0) {
+      sim::ResilientServingConfig rcfg;
+      rcfg.num_replicas = replicas;
+      if (serve_policy == "rr") {
+        rcfg.policy = sim::RoutePolicy::kRoundRobin;
+      } else if (serve_policy == "health") {
+        rcfg.policy = sim::RoutePolicy::kHealthAware;
+        rcfg.eject_ms = 10.0 * serve_timeout;
+      } else if (serve_policy == "jsq") {
+        rcfg.policy = sim::RoutePolicy::kJoinShortestQueue;
+      } else {
+        std::fprintf(stderr, "unknown --serve-policy '%s' (rr|jsq|health)\n",
+                     serve_policy.c_str());
+        return 2;
+      }
+      rcfg.max_batch = 8;
+      rcfg.token_budget = 2048;
+      rcfg.cost_ladder =
+          parallel::make_serving_cost_ladder(simulator, model.num_layers);
+      if (serve_mtbf > 0.0) {
+        for (int r = 0; r < replicas; ++r) {
+          sim::ReplicaFaultSpec fs;
+          fs.mtbf_ms = serve_mtbf;
+          fs.repair_ms = serve_repair > 0.0 ? serve_repair : serve_mtbf / 10.0;
+          fs.seed = 100 + static_cast<uint64_t>(r);
+          rcfg.replica_faults.push_back(fs);
+        }
+      }
+      rcfg.retry.max_attempts =
+          serve_mtbf > 0.0 || serve_timeout > 0.0 ? 4 : 1;
+      rcfg.retry.backoff_ms = 1.0;
+      rcfg.retry.timeout_ms = serve_timeout;
+      rcfg.retry.hedge_after_ms = hedge_after;
+      if (serve_slo > 0.0) {
+        rcfg.slo_e2e_p99_ms = serve_slo;
+        rcfg.degrade.enabled = true;
+      }
+      const auto frep = sim::simulate_serving_resilient(trace, rcfg);
+      std::printf(
+          "\nFleet: %d replica(s), %s routing%s%s\n"
+          "  completed %lld / offered %lld (shed %lld, failed %lld)\n"
+          "  goodput %.1f tok/s | e2e p99 %.2f ms%s\n"
+          "  crashes %lld, retries %lld, timeouts %lld, hedges %lld "
+          "(%lld won), wasted %lld tok\n",
+          replicas, sim::route_policy_label(rcfg.policy),
+          serve_mtbf > 0.0 ? ", crash faults on" : "",
+          rcfg.degrade.enabled ? ", SLO degradation on" : "",
+          static_cast<long long>(frep.serving.completed),
+          static_cast<long long>(frep.offered),
+          static_cast<long long>(frep.shed),
+          static_cast<long long>(frep.failed), frep.goodput_tok_s(),
+          frep.serving.e2e.p99_ms,
+          serve_slo > 0.0 ? (frep.slo_met(serve_slo) ? " (SLO met)"
+                                                     : " (SLO MISSED)")
+                          : "",
+          static_cast<long long>(frep.crashes),
+          static_cast<long long>(frep.retries),
+          static_cast<long long>(frep.timeouts),
+          static_cast<long long>(frep.hedges),
+          static_cast<long long>(frep.hedge_wins),
+          static_cast<long long>(frep.wasted_tokens));
+      if (rcfg.degrade.enabled) {
+        std::printf(
+            "  degradation: %d escalation(s), %d de-escalation(s), final "
+            "level %d (%s)\n",
+            frep.escalations, frep.deescalations, frep.final_level,
+            compress::setting_label(
+                parallel::serving_ladder_settings()[static_cast<size_t>(
+                    frep.final_level)])
+                .c_str());
+      }
+      obs::json::Value rec = obs::json::Value::object();
+      rec.set("fleet_replicas", int64_t{replicas});
+      rec.set("fleet_policy", std::string(sim::route_policy_label(rcfg.policy)));
+      rec.set("fleet_completed", frep.serving.completed);
+      rec.set("fleet_shed", frep.shed);
+      rec.set("fleet_failed", frep.failed);
+      rec.set("fleet_goodput_tok_s", frep.goodput_tok_s());
+      rec.set("fleet_e2e_p99_ms", frep.serving.e2e.p99_ms);
+      rec.set("fleet_crashes", frep.crashes);
+      rec.set("fleet_escalations", int64_t{frep.escalations});
+      report.add_record(std::move(rec));
+    }
   }
 
   if (faults_mode) {

@@ -637,4 +637,19 @@ sim::StepCostFn make_serving_cost(const ModelParallelSimulator& sim,
   };
 }
 
+std::vector<compress::Setting> serving_ladder_settings() {
+  return {compress::Setting::kBaseline, compress::Setting::kQ3,
+          compress::Setting::kQ2, compress::Setting::kT3};
+}
+
+std::vector<sim::StepCostFn> make_serving_cost_ladder(
+    const ModelParallelSimulator& sim, int64_t num_layers) {
+  std::vector<sim::StepCostFn> ladder;
+  for (const compress::Setting s : serving_ladder_settings()) {
+    ladder.push_back(make_serving_cost(
+        sim, core::CompressionPlan::paper_default(s, num_layers)));
+  }
+  return ladder;
+}
+
 }  // namespace actcomp::parallel

@@ -257,4 +257,18 @@ class ModelParallelSimulator {
 sim::StepCostFn make_serving_cost(const ModelParallelSimulator& sim,
                                   const core::CompressionPlan& plan);
 
+/// The canonical serving degradation ladder, quality-first: w/o -> Q3
+/// (8-bit) -> Q2 (4-bit) -> T3 (Top-K). Rung settings in ladder order.
+std::vector<compress::Setting> serving_ladder_settings();
+
+/// One StepCostFn per rung of serving_ladder_settings(), each pricing steps
+/// through `sim` with the paper_default CompressionPlan for that setting
+/// over `num_layers` layers. Rung 0 is the uncompressed clean-path cost —
+/// feeding the ladder to sim::ResilientServingConfig::cost_ladder gives the
+/// SLO degradation controller progressively cheaper wire formats to escalate
+/// through (the paper's slow-network regime is exactly where the later rungs
+/// buy back step time).
+std::vector<sim::StepCostFn> make_serving_cost_ladder(
+    const ModelParallelSimulator& sim, int64_t num_layers);
+
 }  // namespace actcomp::parallel

@@ -1,6 +1,7 @@
 #include "sim/faults.h"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -117,11 +118,7 @@ FaultInjector::FaultInjector(const FaultProfile& profile)
   enabled_ = profile_.enabled();
 }
 
-double FaultInjector::next_uniform() {
-  // 53 mantissa bits of one raw draw: identical realization everywhere,
-  // unlike std::uniform_real_distribution.
-  return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
-}
+double FaultInjector::next_uniform() { return uniform_raw(rng_); }
 
 double FaultInjector::compute_multiplier(int stage) {
   if (!enabled_) return 1.0;
@@ -157,6 +154,75 @@ int FaultInjector::draw_outages(int boundary) {
 double FaultInjector::backoff_ms(int attempt) const {
   return profile_.link.backoff_ms *
          static_cast<double>(int64_t{1} << (attempt - 1));
+}
+
+bool ReplicaFaultSpec::enabled() const {
+  return mtbf_ms > 0.0 || (slow_mtbf_ms > 0.0 && slow_factor > 1.0);
+}
+
+void ReplicaFaultSpec::validate() const {
+  auto fail_spec = [](const std::string& msg) {
+    throw std::invalid_argument("ReplicaFaultSpec: " + msg);
+  };
+  auto check = [&](double v, const char* name) {
+    if (!std::isfinite(v) || v < 0.0) {
+      std::ostringstream os;
+      os << name << " = " << v << " — must be finite and non-negative";
+      fail_spec(os.str());
+    }
+  };
+  check(mtbf_ms, "mtbf_ms");
+  check(repair_ms, "repair_ms");
+  check(slow_mtbf_ms, "slow_mtbf_ms");
+  check(slow_duration_ms, "slow_duration_ms");
+  if (!std::isfinite(slow_factor) || slow_factor < 1.0) {
+    std::ostringstream os;
+    os << "slow_factor = " << slow_factor
+       << " — must be >= 1 (faults only lengthen steps)";
+    fail_spec(os.str());
+  }
+  if (slow_mtbf_ms > 0.0 && slow_factor > 1.0 && slow_duration_ms <= 0.0) {
+    fail_spec("slow_duration_ms must be > 0 when brown-outs are enabled");
+  }
+}
+
+ReplicaFaultProcess::ReplicaFaultProcess(const ReplicaFaultSpec& spec)
+    : spec_(spec),
+      crash_rng_(spec.seed),
+      // Splitmix64's odd constant decorrelates the two streams so enabling
+      // crashes never re-times the brown-out windows (and vice versa).
+      slow_rng_(spec.seed ^ 0x9E3779B97F4A7C15ULL) {
+  spec_.validate();
+}
+
+double ReplicaFaultProcess::next_exponential(std::mt19937_64& rng,
+                                             double mean_ms) {
+  // Inverse-CDF on the raw-draw uniform: portable seeded realization.
+  return -std::log(1.0 - uniform_raw(rng)) * mean_ms;
+}
+
+double ReplicaFaultProcess::draw_crash_after(double from_ms) {
+  if (spec_.mtbf_ms <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return from_ms + next_exponential(crash_rng_, spec_.mtbf_ms);
+}
+
+double ReplicaFaultProcess::slow_multiplier_at(double start_ms) {
+  if (spec_.slow_mtbf_ms <= 0.0 || spec_.slow_factor <= 1.0) return 1.0;
+  if (!slow_seeded_) {
+    slow_seeded_ = true;
+    slow_start_ms_ = next_exponential(slow_rng_, spec_.slow_mtbf_ms);
+    slow_end_ms_ = slow_start_ms_ + spec_.slow_duration_ms;
+  }
+  // Advance past windows that ended before this step starts. Healthy gaps
+  // are exponential, windows a fixed length, so the sequence is a renewal
+  // process materialized lazily in step-start order.
+  while (start_ms >= slow_end_ms_) {
+    slow_start_ms_ = slow_end_ms_ + next_exponential(slow_rng_, spec_.slow_mtbf_ms);
+    slow_end_ms_ = slow_start_ms_ + spec_.slow_duration_ms;
+  }
+  return start_ms >= slow_start_ms_ ? spec_.slow_factor : 1.0;
 }
 
 }  // namespace actcomp::sim

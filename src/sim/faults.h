@@ -33,6 +33,15 @@
 
 namespace actcomp::sim {
 
+/// U[0, 1) from the 53 high mantissa bits of one raw 64-bit draw. The repo's
+/// canonical stochastic primitive (FaultInjector, poisson_trace, the replica
+/// fault processes all share it): unlike std::uniform_real_distribution the
+/// realization is identical across standard libraries, which is what makes
+/// seeded fault patterns a portable golden-test surface.
+inline double uniform_raw(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
 /// A complete fault scenario. Default-constructed = everything disabled; the
 /// simulator's clean path is then bit-for-bit unchanged.
 struct FaultProfile {
@@ -104,13 +113,77 @@ class FaultInjector {
 
  private:
   bool link_faulty(int boundary) const;
-  /// U[0, 1) from the profile's own engine — hand-rolled from raw 64-bit
-  /// draws so the realization is identical across standard libraries.
+  /// U[0, 1) from the profile's own engine (uniform_raw above).
   double next_uniform();
 
   FaultProfile profile_;
   bool enabled_ = false;
   std::mt19937_64 rng_;
+};
+
+/// Fault scenario for ONE serving replica (sim/serving_resilience.h). Two
+/// independent renewal processes, both seeded from `seed`:
+///
+///   * fail-stop crashes — exponential up-time with mean `mtbf_ms`, then the
+///     replica is down for `repair_ms` (in-flight and queued work is lost and
+///     must be retried or fails);
+///   * brown-outs — after an exponential healthy period with mean
+///     `slow_mtbf_ms`, every step STARTED inside the next `slow_duration_ms`
+///     window runs `slow_factor` (>= 1) times slower. This is the serving
+///     twin of FaultProfile's persistent link degradation: the replica stays
+///     up but its effective capacity drops, which is exactly the regime where
+///     escalating to a cheaper wire format recovers the SLO.
+///
+/// Default-constructed = healthy forever; the resilient scheduler's clean
+/// path is then bit-for-bit the single-replica simulate_serving schedule.
+struct ReplicaFaultSpec {
+  double mtbf_ms = 0.0;          ///< mean up-time between crashes; 0 = never
+  double repair_ms = 0.0;        ///< downtime per crash
+  double slow_mtbf_ms = 0.0;     ///< mean healthy time between brown-outs
+  double slow_duration_ms = 0.0; ///< brown-out window length
+  double slow_factor = 1.0;      ///< step-duration multiplier inside a window
+  uint64_t seed = 0;
+
+  /// True if any perturbation is active.
+  bool enabled() const;
+  /// Throws std::invalid_argument with a precise "ReplicaFaultSpec: ..."
+  /// message on non-finite/negative durations, slow_factor < 1, or a
+  /// brown-out process with a zero-length window.
+  void validate() const;
+};
+
+/// Materializes one replica's fault timeline lazily and deterministically:
+/// same spec => same crash instants and the same brown-out windows, consumed
+/// in simulation order. Crash and brown-out draws come from two independent
+/// mt19937_64 streams derived from the spec's seed, so enabling one process
+/// never re-times the other.
+class ReplicaFaultProcess {
+ public:
+  explicit ReplicaFaultProcess(const ReplicaFaultSpec& spec);
+
+  const ReplicaFaultSpec& spec() const { return spec_; }
+
+  /// Absolute time of the next crash given the replica is up from `from_ms`.
+  /// +infinity when crashes are disabled. Consumes one crash-stream draw per
+  /// call; the resilient scheduler calls it once at t = 0 and once per
+  /// recovery.
+  double draw_crash_after(double from_ms);
+
+  /// Step-duration multiplier for a step starting at `start_ms` (>= 1;
+  /// exactly 1.0 when brown-outs are disabled, so the clean path's durations
+  /// are bit-identical). Calls must be non-decreasing in start_ms — the
+  /// window sequence is advanced, never rewound.
+  double slow_multiplier_at(double start_ms);
+
+ private:
+  double next_exponential(std::mt19937_64& rng, double mean_ms);
+
+  ReplicaFaultSpec spec_;
+  std::mt19937_64 crash_rng_;
+  std::mt19937_64 slow_rng_;
+  bool slow_seeded_ = false;
+  double slow_start_ms_ = 0.0;  ///< current/next brown-out window
+  double slow_end_ms_ = 0.0;
 };
 
 }  // namespace actcomp::sim

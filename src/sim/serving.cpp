@@ -5,6 +5,7 @@
 #include <random>
 
 #include "sim/engine.h"
+#include "sim/faults.h"
 #include "tensor/check.h"
 
 namespace actcomp::sim {
@@ -23,17 +24,12 @@ std::vector<ServingRequest> poisson_trace(const PoissonTraceSpec& spec) {
                 "poisson_trace: max_new_tokens = " << spec.max_new_tokens
                                                    << ", must be >= 0");
   std::mt19937_64 rng(spec.seed);
-  // Raw-draw uniform in [0, 1) (the FaultInjector idiom): identical across
-  // standard libraries, unlike std::exponential_distribution.
-  auto next_uniform = [&rng]() {
-    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
-  };
   std::vector<ServingRequest> out;
   out.reserve(static_cast<size_t>(spec.num_requests));
   double t_ms = 0.0;
   for (int i = 0; i < spec.num_requests; ++i) {
     // Inverse-CDF exponential inter-arrival, scaled from seconds to ms.
-    t_ms += -std::log(1.0 - next_uniform()) / spec.rate_per_s * 1e3;
+    t_ms += -std::log(1.0 - uniform_raw(rng)) / spec.rate_per_s * 1e3;
     out.push_back({t_ms, spec.prompt_tokens, spec.max_new_tokens});
   }
   return out;
@@ -232,11 +228,28 @@ ServingReport simulate_serving(const std::vector<ServingRequest>& requests,
                        << t.start_ms << ", " << t.end_ms << "] vs ["
                        << s.start_ms << ", " << s.end_ms << "]");
     rep.steps.push_back({s.prefill, t.start_ms, t.end_ms, s.seqs, s.new_tokens});
-    rep.busy_ms += t.end_ms - t.start_ms;
   }
 
+  finalize_serving_report(rep);
+  return rep;
+}
+
+void finalize_serving_report(ServingReport& rep,
+                             const std::vector<char>* completed) {
+  for (const StepTiming& s : rep.steps) rep.busy_ms += s.end_ms - s.start_ms;
+  if (rep.requests.empty()) return;
+  ACTCOMP_CHECK(completed == nullptr || completed->size() == rep.requests.size(),
+                "finalize_serving_report: completed mask has "
+                    << (completed ? completed->size() : 0) << " entries for "
+                    << rep.requests.size() << " requests");
+  auto counted = [&](size_t i) {
+    return completed == nullptr || (*completed)[i] != 0;
+  };
+
   std::vector<double> ttft, tpot, e2e;
-  for (const RequestTiming& t : rep.requests) {
+  for (size_t i = 0; i < rep.requests.size(); ++i) {
+    if (!counted(i)) continue;
+    const RequestTiming& t = rep.requests[i];
     rep.completed += 1;
     rep.generated_tokens += t.generated;
     if (t.generated >= 1) ttft.push_back(t.ttft_ms());
@@ -247,9 +260,13 @@ ServingReport simulate_serving(const std::vector<ServingRequest>& requests,
   rep.tpot = latency_percentiles(std::move(tpot));
   rep.e2e = latency_percentiles(std::move(e2e));
 
-  const double t0 = requests.front().arrival_ms;
+  // Makespan runs from the first ARRIVAL (of any request, even one later
+  // shed — it still offered load) to the last counted completion.
+  const double t0 = rep.requests.front().arrival_ms;
   double t1 = t0;
-  for (const RequestTiming& t : rep.requests) t1 = std::max(t1, t.done_ms);
+  for (size_t i = 0; i < rep.requests.size(); ++i) {
+    if (counted(i)) t1 = std::max(t1, rep.requests[i].done_ms);
+  }
   rep.makespan_ms = t1 - t0;
 
   // Mean concurrency by event-sweep time integration — measured
@@ -261,7 +278,9 @@ ServingReport simulate_serving(const std::vector<ServingRequest>& requests,
   };
   std::vector<Event> events;
   events.reserve(rep.requests.size() * 2);
-  for (const RequestTiming& t : rep.requests) {
+  for (size_t i = 0; i < rep.requests.size(); ++i) {
+    if (!counted(i)) continue;
+    const RequestTiming& t = rep.requests[i];
     events.push_back({t.arrival_ms, +1});
     events.push_back({t.done_ms, -1});
   }
@@ -276,7 +295,6 @@ ServingReport simulate_serving(const std::vector<ServingRequest>& requests,
     prev = ev.t;
   }
   rep.mean_concurrency = rep.makespan_ms > 0.0 ? integral / rep.makespan_ms : 0.0;
-  return rep;
 }
 
 }  // namespace actcomp::sim

@@ -98,6 +98,9 @@ struct StepTiming {
   double end_ms = 0.0;
   int64_t seqs = 0;
   int64_t new_tokens = 0;
+  /// Which replica ran the step. Always 0 for simulate_serving; the
+  /// multi-replica scheduler (sim/serving_resilience.h) fills it in.
+  int replica = 0;
 };
 
 /// Nearest-rank percentiles (the bench::FaultSweep convention). All zero for
@@ -144,5 +147,18 @@ void validate_serving_inputs(const std::vector<ServingRequest>& requests,
 /// engine graph is built — the zero-request edge case degrades gracefully).
 ServingReport simulate_serving(const std::vector<ServingRequest>& requests,
                                const ServingConfig& cfg);
+
+/// Fills the derived aggregates of a report whose `requests` and `steps` are
+/// already populated: busy_ms (sum of step durations in step order),
+/// completed / generated_tokens, the ttft/tpot/e2e percentiles, makespan and
+/// the event-sweep mean concurrency. When `completed` is non-null it is a
+/// per-request mask (same indexing as rep.requests) and only masked-in
+/// requests contribute to the aggregates — the resilient scheduler uses this
+/// to keep shed/failed requests out of the latency statistics while still
+/// reporting their (empty) timelines. Null counts every request, which is
+/// exactly simulate_serving's accounting; both paths share this code so the
+/// clean-path byte-identity is structural, not coincidental.
+void finalize_serving_report(ServingReport& rep,
+                             const std::vector<char>* completed = nullptr);
 
 }  // namespace actcomp::sim

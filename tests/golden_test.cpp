@@ -74,6 +74,7 @@ INSTANTIATE_TEST_SUITE_P(Tables, Golden,
                                            "table7_breakdown_pretrain",
                                            "table9_stage_comm",
                                            "ablation_serving",
+                                           "ablation_serving_faults",
                                            "ablation_wire_formats"));
 
 }  // namespace
